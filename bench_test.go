@@ -1,0 +1,327 @@
+package dtdctcp
+
+// One benchmark per figure of the paper plus the ablations listed in
+// DESIGN.md. Each bench runs a reduced-size instance of the experiment
+// behind the figure and reports the figure's headline quantity as a
+// custom metric, so `go test -bench=.` both exercises every experiment
+// path end to end and prints the reproduced numbers. The full-size
+// sweeps with the paper's exact parameters are produced by
+// cmd/dtexperiments (see EXPERIMENTS.md).
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dtdctcp/internal/control"
+)
+
+func paperBase() DumbbellConfig {
+	return DumbbellConfig{
+		Rate:       10 * Gbps,
+		RTT:        100 * time.Microsecond,
+		BufferPkts: 600,
+		Duration:   40 * time.Millisecond,
+		Warmup:     10 * time.Millisecond,
+		Seed:       1,
+	}
+}
+
+func runDumbbell(b *testing.B, p Protocol, flows int) *DumbbellResult {
+	b.Helper()
+	cfg := paperBase()
+	cfg.Protocol = p
+	cfg.Flows = flows
+	res, err := RunDumbbell(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig01QueueOscillation regenerates Fig. 1: the bottleneck queue
+// trace of DCTCP at N = 10 vs N = 100 (10 Gbps, 100 µs RTT, K = 40,
+// g = 1/16). The figure's visual — oscillation amplitude growing with the
+// flow count — is reported as the peak-to-peak queue excursion.
+func BenchmarkFig01QueueOscillation(b *testing.B) {
+	for _, n := range []int{10, 100} {
+		n := n
+		b.Run(map[int]string{10: "N=10", 100: "N=100"}[n], func(b *testing.B) {
+			var swing float64
+			for i := 0; i < b.N; i++ {
+				res := runDumbbell(b, DCTCP(40, 1.0/16), n)
+				swing = res.QueueMaxPkts - res.QueueMinPkts
+			}
+			b.ReportMetric(swing, "pkts-peak2peak")
+		})
+	}
+}
+
+// BenchmarkFig02MarkingStrategies regenerates Fig. 2: the same triangular
+// queue trajectory replayed through both markers; the metric is the
+// marked fraction of arrivals (DT-DCTCP marks a longer, shifted window).
+func BenchmarkFig02MarkingStrategies(b *testing.B) {
+	traj := TriangleTrajectory(80)
+	for _, p := range []Protocol{DCTCP(40, 1.0/16), DTDCTCP(30, 50, 1.0/16)} {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				dec, err := ReplayMarker(p, traj)
+				if err != nil {
+					b.Fatal(err)
+				}
+				marked := 0
+				for _, d := range dec {
+					if d.Marked {
+						marked++
+					}
+				}
+				frac = float64(marked) / float64(len(dec))
+			}
+			b.ReportMetric(frac, "marked-fraction")
+		})
+	}
+}
+
+// BenchmarkFig06DescribingFunctions validates the closed-form DFs of
+// Figs. 6/8 (Eqs. 22 and 27) against numeric Fourier integration of the
+// marking waveform; the metric is the worst relative error across an
+// amplitude sweep.
+func BenchmarkFig06DescribingFunctions(b *testing.B) {
+	dc := control.DCTCPDF{K: 40}
+	dt := control.DTDCTCPDF{K1: 30, K2: 50}
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		worst = 0
+		for x := 55.0; x <= 400; x += 23 {
+			num := control.NumericDF(x, 100000, func(th float64) float64 {
+				if x*math.Sin(th) >= 40 {
+					return 1
+				}
+				return 0
+			})
+			rel := cabs(num-dc.Eval(x)) / cabs(dc.Eval(x))
+			if rel > worst {
+				worst = rel
+			}
+			phi1 := math.Asin(30 / x)
+			phi2 := math.Pi - math.Asin(50/x)
+			numDT := control.NumericDF(x, 100000, func(th float64) float64 {
+				if th >= phi1 && th <= phi2 {
+					return 1
+				}
+				return 0
+			})
+			rel = cabs(numDT-dt.Eval(x)) / cabs(dt.Eval(x))
+			if rel > worst {
+				worst = rel
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-rel-err")
+}
+
+func cabs(z complex128) float64 {
+	return math.Hypot(real(z), imag(z))
+}
+
+// BenchmarkFig09Nyquist regenerates the paper's Fig. 9 headline: the
+// critical flow count at which the Nyquist loci first intersect
+// (oscillation onset) for each marker. The paper reports N ≈ 60 for
+// DCTCP and N ≈ 70 for DT-DCTCP; the reproduced ordering (DT later) is
+// what the metric captures.
+func BenchmarkFig09Nyquist(b *testing.B) {
+	params := PaperAnalysisParams()
+	for _, p := range []Protocol{DCTCP(40, 1.0/16), DTDCTCP(30, 50, 1.0/16)} {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			var onset int
+			for i := 0; i < b.N; i++ {
+				n, err := CriticalFlows(p, params, 2, 150)
+				if err != nil {
+					b.Fatal(err)
+				}
+				onset = n
+			}
+			b.ReportMetric(float64(onset), "critical-N")
+		})
+	}
+}
+
+// BenchmarkFig10AvgQueue regenerates Fig. 10: average queue length vs
+// flow count, normalized to the protocol's own N = 10 baseline. The
+// metric is the normalized mean at N = 60 (DCTCP strays far above 1;
+// DT-DCTCP stays closer).
+func BenchmarkFig10AvgQueue(b *testing.B) {
+	for _, p := range []Protocol{DCTCP(40, 1.0/16), DTDCTCP(30, 50, 1.0/16)} {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			var norm float64
+			for i := 0; i < b.N; i++ {
+				base := runDumbbell(b, p, 10)
+				at60 := runDumbbell(b, p, 60)
+				norm = at60.QueueMeanPkts / base.QueueMeanPkts
+			}
+			b.ReportMetric(norm, "mean-vs-N10")
+		})
+	}
+}
+
+// BenchmarkFig11QueueStdDev regenerates Fig. 11: the queue standard
+// deviation at N = 60 for both protocols (DT-DCTCP's must be smaller).
+func BenchmarkFig11QueueStdDev(b *testing.B) {
+	for _, p := range []Protocol{DCTCP(40, 1.0/16), DTDCTCP(30, 50, 1.0/16)} {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			var sd float64
+			for i := 0; i < b.N; i++ {
+				sd = runDumbbell(b, p, 60).QueueStdPkts
+			}
+			b.ReportMetric(sd, "queue-sd-pkts")
+		})
+	}
+}
+
+// BenchmarkFig12Alpha regenerates Fig. 12: the flows' average congestion
+// estimate α at N = 60 for both protocols.
+func BenchmarkFig12Alpha(b *testing.B) {
+	for _, p := range []Protocol{DCTCP(40, 1.0/16), DTDCTCP(30, 50, 1.0/16)} {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			var alpha float64
+			for i := 0; i < b.N; i++ {
+				alpha = runDumbbell(b, p, 60).AlphaMean
+			}
+			b.ReportMetric(alpha, "alpha")
+		})
+	}
+}
+
+// BenchmarkFig14Incast regenerates Fig. 14: goodput of the synchronized
+// 64 KB-per-worker query at a flow count past DCTCP's collapse point.
+// DT-DCTCP (anticipatory thresholds around the same mean as K) sustains
+// several times DCTCP's goodput there — the "postponed collapse".
+func BenchmarkFig14Incast(b *testing.B) {
+	for _, p := range []Protocol{DCTCP(21, 1.0/16), DTDCTCP(16, 26, 1.0/16)} {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			var goodput float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunIncast(DefaultTestbed(p, 56), 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				goodput = res.MeanGoodputBps / 1e6
+			}
+			b.ReportMetric(goodput, "goodput-Mbps")
+		})
+	}
+}
+
+// BenchmarkFig15CompletionTime regenerates Fig. 15: the completion time
+// of a 1 MB query split across the workers, at a count where timeouts
+// begin to stretch the tail (the ≈10 ms floor jumps toward RTOmin).
+func BenchmarkFig15CompletionTime(b *testing.B) {
+	for _, p := range []Protocol{DCTCP(21, 1.0/16), DTDCTCP(16, 26, 1.0/16)} {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunCompletionTime(DefaultTestbed(p, 48), 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = res.MeanCompletion.Seconds() * 1000
+			}
+			b.ReportMetric(mean, "completion-ms")
+		})
+	}
+}
+
+// BenchmarkAblationThresholdGap (A1): vary the K1/K2 gap around a fixed
+// mean of 40 packets and report the queue σ at N = 60 — wider hysteresis
+// tames the oscillation further, at the cost of a larger excursion band.
+func BenchmarkAblationThresholdGap(b *testing.B) {
+	for _, gap := range []int{0, 10, 20, 40} {
+		gap := gap
+		b.Run(map[int]string{0: "gap=0", 10: "gap=10", 20: "gap=20", 40: "gap=40"}[gap], func(b *testing.B) {
+			p := DTDCTCP(40-gap/2, 40+gap/2, 1.0/16)
+			if gap == 0 {
+				p = DCTCP(40, 1.0/16)
+			}
+			var sd float64
+			for i := 0; i < b.N; i++ {
+				sd = runDumbbell(b, p, 60).QueueStdPkts
+			}
+			b.ReportMetric(sd, "queue-sd-pkts")
+		})
+	}
+}
+
+// BenchmarkAblationGain (A2): sensitivity of the queue σ to DCTCP's
+// estimation gain g at N = 60.
+func BenchmarkAblationGain(b *testing.B) {
+	for _, g := range []float64{1.0 / 4, 1.0 / 16, 1.0 / 64} {
+		g := g
+		b.Run(map[float64]string{0.25: "g=1_4", 1.0 / 16: "g=1_16", 1.0 / 64: "g=1_64"}[g], func(b *testing.B) {
+			var sd float64
+			for i := 0; i < b.N; i++ {
+				sd = runDumbbell(b, DCTCP(40, g), 60).QueueStdPkts
+			}
+			b.ReportMetric(sd, "queue-sd-pkts")
+		})
+	}
+}
+
+// BenchmarkAblationHysteresisDirection (A3): the paper's two DT-DCTCP
+// parameterizations at equal mean threshold in the incast scenario —
+// anticipatory (K1 < K2) vs inverted/hysteresis (K1 > K2). The metric is
+// goodput at n = 56; the anticipatory order is what postpones collapse.
+func BenchmarkAblationHysteresisDirection(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		p    Protocol
+	}{
+		{"anticipatory-16-26", DTDCTCP(16, 26, 1.0/16)},
+		{"hysteresis-26-16", DTDCTCP(26, 16, 1.0/16)},
+		// The paper's literal second testbed parameterization:
+		// 34 KB/30 KB of 1.5 KB packets.
+		{"paper-testbed-23-20", DTDCTCP(23, 20, 1.0/16)},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var goodput float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunIncast(DefaultTestbed(tc.p, 56), 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				goodput = res.MeanGoodputBps / 1e6
+			}
+			b.ReportMetric(goodput, "goodput-Mbps")
+		})
+	}
+}
+
+// BenchmarkAblationAQM (A4): queue law comparison at N = 60 — DropTail
+// (Reno and CUBIC), RFC3168 ECN, PIE and CoDel (delay targets ≈ K packets
+// at 10 Gbps), single threshold (DCTCP) and double threshold — reporting
+// the mean queue in packets.
+func BenchmarkAblationAQM(b *testing.B) {
+	// Delay targets for PIE/CoDel: 200 µs ≈ 167 packets at 10 Gbps
+	// (window-based flows cannot hold a target much below the 100 µs
+	// RTT); CoDel's interval spans a handful of RTTs.
+	pie := RenoPIE(10*Gbps, 200*time.Microsecond, 1)
+	codel := RenoCoDel(200*time.Microsecond, time.Millisecond)
+	for _, p := range []Protocol{Reno(), Cubic(), RenoECN(40), pie, codel, DCTCP(40, 1.0/16), DTDCTCP(30, 50, 1.0/16)} {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				mean = runDumbbell(b, p, 60).QueueMeanPkts
+			}
+			b.ReportMetric(mean, "queue-mean-pkts")
+		})
+	}
+}

@@ -1,0 +1,122 @@
+// Command dtanalysis runs the paper's describing-function stability
+// analysis (Sections IV–V): it evaluates the Nyquist criterion for a
+// marking law at a given flow count, predicts the limit cycle, and
+// searches for the critical flow count at which oscillation first
+// appears (Fig. 9).
+//
+// Examples:
+//
+//	dtanalysis -k 40 -n 60
+//	dtanalysis -dt -k1 30 -k2 50 -critical
+//	dtanalysis -k 40 -locus locus.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"dtdctcp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dtanalysis:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dtanalysis", flag.ContinueOnError)
+	var (
+		dt       = fs.Bool("dt", false, "analyze DT-DCTCP instead of DCTCP")
+		k        = fs.Int("k", 40, "DCTCP threshold in packets")
+		k1       = fs.Int("k1", 30, "DT-DCTCP mark-on threshold in packets")
+		k2       = fs.Int("k2", 50, "DT-DCTCP mark-off threshold in packets")
+		g        = fs.Float64("g", 1.0/16, "DCTCP estimation gain")
+		n        = fs.Int("n", 60, "flow count to analyze")
+		c        = fs.Float64("c", 1e7, "capacity in packets/second (paper's Fig. 9 unit)")
+		rtt      = fs.Float64("rtt", 1e-4, "round-trip time in seconds")
+		critical = fs.Bool("critical", false, "search the critical flow count instead")
+		nMin     = fs.Int("nmin", 2, "critical search lower bound")
+		nMax     = fs.Int("nmax", 200, "critical search upper bound")
+		locus    = fs.String("locus", "", "write the K0*G(jw) locus as CSV to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var proto dtdctcp.Protocol
+	if *dt {
+		proto = dtdctcp.DTDCTCP(*k1, *k2, *g)
+	} else {
+		proto = dtdctcp.DCTCP(*k, *g)
+	}
+	params := dtdctcp.AnalysisParams{CapacityPktsPerSec: *c, RTT: *rtt, G: *g}
+
+	if *critical {
+		onset, err := dtdctcp.CriticalFlows(proto, params, *nMin, *nMax)
+		if err != nil {
+			return err
+		}
+		if onset > *nMax {
+			fmt.Fprintf(out, "%s: stable for every N in [%d, %d]\n", proto.Name, *nMin, *nMax)
+			return nil
+		}
+		fmt.Fprintf(out, "%s: oscillation onset at N = %d\n", proto.Name, onset)
+		return nil
+	}
+
+	v, err := dtdctcp.AnalyzeStability(proto, params, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "protocol        %s\n", proto.Name)
+	fmt.Fprintf(out, "flows           %d\n", *n)
+	fmt.Fprintf(out, "stable          %t\n", v.Stable)
+	fmt.Fprintf(out, "locus distance  %.4f (normalized closest approach)\n", v.ClosestApproach)
+	if !v.Stable {
+		fmt.Fprintf(out, "limit cycle     amplitude %.1f packets, frequency %.0f rad/s (period %.1f µs)\n",
+			v.Cycle.Amplitude, v.Cycle.Frequency, v.Cycle.PeriodSeconds()*1e6)
+	}
+	if m, err := dtdctcp.StabilityMargins(proto, params, *n); err == nil {
+		fmt.Fprintf(out, "gain margin     %.2f (×, >1 stable) at phase crossover %.0f rad/s\n",
+			m.GainMargin, m.PhaseCrossover)
+		if !math.IsNaN(m.PhaseMargin) {
+			fmt.Fprintf(out, "phase margin    %.1f° at gain crossover %.0f rad/s\n",
+				m.PhaseMargin*180/math.Pi, m.GainCrossover)
+		}
+	}
+
+	if *locus != "" {
+		f, err := os.Create(*locus)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ws, zs := params.Plant(*n).Locus(1/float64(max(*k, 1)), 1e2, 1e7, 2000)
+		if _, err := fmt.Fprintln(f, "w,re,im"); err != nil {
+			return err
+		}
+		for i := range ws {
+			if _, err := fmt.Fprintf(f, "%s,%s,%s\n",
+				strconv.FormatFloat(ws[i], 'g', -1, 64),
+				strconv.FormatFloat(real(zs[i]), 'g', -1, 64),
+				strconv.FormatFloat(imag(zs[i]), 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "locus written to %s\n", *locus)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunVerdictStable(t *testing.T) {
+	if err := run([]string{"-k", "40", "-n", "10"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerdictOscillating(t *testing.T) {
+	if err := run([]string{"-k", "40", "-n", "80"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDTVariant(t *testing.T) {
+	if err := run([]string{"-dt", "-k1", "30", "-k2", "50", "-n", "60"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCriticalSearch(t *testing.T) {
+	if err := run([]string{"-critical", "-nmin", "2", "-nmax", "120"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	// Stable-everywhere branch: 1500-byte packet unit.
+	if err := run([]string{"-critical", "-c", "833333", "-nmax", "50"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLocusCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "locus.csv")
+	if err := run([]string{"-k", "40", "-n", "60", "-locus", path}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "w,re,im" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 2001 {
+		t.Fatalf("locus rows = %d, want 2001", len(lines))
+	}
+}
+
+func TestRunLocusBadPath(t *testing.T) {
+	if err := run([]string{"-locus", "/nonexistent-dir/x.csv"}, io.Discard); err == nil {
+		t.Fatal("unwritable locus path accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}, io.Discard); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunBadRange(t *testing.T) {
+	if err := run([]string{"-critical", "-nmin", "0"}, io.Discard); err == nil {
+		t.Fatal("nmin=0 accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunQuickFigures(t *testing.T) {
+	// Figures 2, 6 and 9 have no simulation component and run fast even
+	// without -short.
+	if err := run([]string{"-fig", "2,6,9"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunShortSimulationFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation figures are slow")
+	}
+	if err := run([]string{"-short", "-fig", "1"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "99"}, io.Discard); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-zap"}, io.Discard); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestSweepFiguresDeduplicated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	// Figures 10, 11, 12 share one sweep; requesting all three must run
+	// it once (this is a smoke test that it completes).
+	if err := run([]string{"-short", "-fig", "10,11,12"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+// Command dtfluid integrates the DCTCP fluid model (Eqs. 1–3 of the
+// paper, from Alizadeh et al. SIGMETRICS'11) under either marking law and
+// reports the steady-state queue statistics and oscillation amplitude.
+//
+// Examples:
+//
+//	dtfluid -n 40 -k 40
+//	dtfluid -dt -k1 30 -k2 50 -n 40 -plot
+//	dtfluid -n 20 -csv fluid.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dtdctcp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dtfluid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dtfluid", flag.ContinueOnError)
+	var (
+		dt       = fs.Bool("dt", false, "integrate DT-DCTCP's law instead of DCTCP's")
+		k        = fs.Int("k", 40, "DCTCP threshold in packets")
+		k1       = fs.Int("k1", 30, "DT-DCTCP mark-on threshold in packets")
+		k2       = fs.Int("k2", 50, "DT-DCTCP mark-off threshold in packets")
+		g        = fs.Float64("g", 1.0/16, "DCTCP estimation gain")
+		n        = fs.Int("n", 10, "flow count")
+		c        = fs.Float64("c", 10e9/8/1500, "capacity in packets/second (10 Gbps of 1.5 KB packets)")
+		rtt      = fs.Float64("rtt", 1e-4, "propagation RTT in seconds")
+		duration = fs.Duration("duration", 200*time.Millisecond, "integration horizon")
+		plot     = fs.Bool("plot", false, "print an ASCII queue trace")
+		csvPath  = fs.String("csv", "", "write the queue trajectory as CSV to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var proto dtdctcp.Protocol
+	if *dt {
+		proto = dtdctcp.DTDCTCP(*k1, *k2, *g)
+	} else {
+		proto = dtdctcp.DCTCP(*k, *g)
+	}
+	params := dtdctcp.AnalysisParams{CapacityPktsPerSec: *c, RTT: *rtt, G: *g}
+	cfg, err := dtdctcp.FluidConfig(proto, params, *n, *duration)
+	if err != nil {
+		return err
+	}
+	res, err := dtdctcp.SolveFluid(cfg)
+	if err != nil {
+		return err
+	}
+
+	w0, a0 := cfg.OperatingPoint()
+	fmt.Fprintf(out, "protocol          %s\n", proto.Name)
+	fmt.Fprintf(out, "flows             %d\n", *n)
+	fmt.Fprintf(out, "operating point   W0 = %.2f pkts, alpha0 = %.3f\n", w0, a0)
+	fmt.Fprintf(out, "queue mean        %.1f packets (steady state)\n", res.QueueMean)
+	fmt.Fprintf(out, "queue stddev      %.1f packets\n", res.QueueStdDev)
+	fmt.Fprintf(out, "oscillation amp.  %.1f packets\n", res.QueueAmplitude)
+
+	if *plot {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, res.Queue.AsciiPlot(100, 20))
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Queue.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ntrajectory written to %s\n", *csvPath)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDCTCP(t *testing.T) {
+	if err := run([]string{"-n", "10", "-duration", "30ms"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDT(t *testing.T) {
+	if err := run([]string{"-dt", "-k1", "30", "-k2", "50", "-n", "20", "-duration", "30ms"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fluid.csv")
+	if err := run([]string{"-n", "10", "-duration", "20ms", "-csv", path}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "t,q\n") {
+		t.Fatalf("csv header: %q", string(data[:10]))
+	}
+}
+
+func TestRunCSVBadPath(t *testing.T) {
+	if err := run([]string{"-n", "10", "-duration", "10ms", "-csv", "/nonexistent-dir/f.csv"}, io.Discard); err == nil {
+		t.Fatal("unwritable csv path accepted")
+	}
+}
+
+func TestRunInvalid(t *testing.T) {
+	if err := run([]string{"-n", "0"}, io.Discard); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if err := run([]string{"-bad"}, io.Discard); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,120 @@
+// Command dtsim runs one packet-level long-lived-flows scenario (the
+// paper's Section VI-A setup) and prints queue statistics, optionally an
+// ASCII queue trace and a CSV dump.
+//
+// Examples:
+//
+//	dtsim -protocol dctcp -k 40 -flows 100
+//	dtsim -protocol dt-dctcp -k1 30 -k2 50 -flows 60 -plot
+//	dtsim -protocol reno -flows 10 -csv queue.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dtdctcp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dtsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dtsim", flag.ContinueOnError)
+	var (
+		protocol = fs.String("protocol", "dctcp", "protocol: dctcp, dt-dctcp, reno, reno-ecn")
+		k        = fs.Int("k", 40, "single marking threshold in packets (dctcp, reno-ecn)")
+		k1       = fs.Int("k1", 30, "DT-DCTCP mark-on threshold in packets")
+		k2       = fs.Int("k2", 50, "DT-DCTCP mark-off threshold in packets")
+		g        = fs.Float64("g", 1.0/16, "DCTCP estimation gain")
+		flows    = fs.Int("flows", 10, "number of long-lived flows")
+		rate     = fs.Int("rate-gbps", 10, "bottleneck rate in Gbps")
+		rtt      = fs.Duration("rtt", 100*time.Microsecond, "base round-trip time")
+		buffer   = fs.Int("buffer", 600, "bottleneck buffer in packets")
+		duration = fs.Duration("duration", 100*time.Millisecond, "measured interval")
+		warmup   = fs.Duration("warmup", 20*time.Millisecond, "warmup excluded from statistics")
+		seed     = fs.Int64("seed", 1, "random seed")
+		plot     = fs.Bool("plot", false, "print an ASCII queue trace")
+		csvPath  = fs.String("csv", "", "write the queue trace as CSV to this path")
+		tracing  = fs.String("trace", "", "write per-packet bottleneck events as JSONL to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var proto dtdctcp.Protocol
+	switch *protocol {
+	case "dctcp":
+		proto = dtdctcp.DCTCP(*k, *g)
+	case "dt-dctcp":
+		proto = dtdctcp.DTDCTCP(*k1, *k2, *g)
+	case "reno":
+		proto = dtdctcp.Reno()
+	case "reno-ecn":
+		proto = dtdctcp.RenoECN(*k)
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+
+	cfg := dtdctcp.DumbbellConfig{
+		Protocol:         proto,
+		Flows:            *flows,
+		Rate:             dtdctcp.Rate(*rate) * dtdctcp.Gbps,
+		RTT:              *rtt,
+		BufferPkts:       *buffer,
+		Duration:         *duration,
+		Warmup:           *warmup,
+		Seed:             *seed,
+		AlphaSampleEvery: time.Millisecond,
+	}
+	if *plot || *csvPath != "" {
+		cfg.QueueSampleEvery = *rtt / 4
+	}
+	if *tracing != "" {
+		f, err := os.Create(*tracing)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.TraceTo = f
+	}
+
+	res, err := dtdctcp.RunDumbbell(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "protocol      %s\n", res.Protocol)
+	fmt.Fprintf(out, "flows         %d\n", res.Flows)
+	fmt.Fprintf(out, "queue mean    %.1f packets\n", res.QueueMeanPkts)
+	fmt.Fprintf(out, "queue stddev  %.1f packets\n", res.QueueStdPkts)
+	fmt.Fprintf(out, "queue min/max %.0f / %.0f packets\n", res.QueueMinPkts, res.QueueMaxPkts)
+	fmt.Fprintf(out, "alpha mean    %.3f\n", res.AlphaMean)
+	fmt.Fprintf(out, "utilization   %.1f%%\n", res.Utilization*100)
+	fmt.Fprintf(out, "marks/drops   %d / %d\n", res.Marks, res.Drops)
+	fmt.Fprintf(out, "timeouts      %d\n", res.Timeouts)
+
+	if *plot && res.QueueSeries != nil {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, res.QueueSeries.AsciiPlot(100, 20))
+	}
+	if *csvPath != "" && res.QueueSeries != nil {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.QueueSeries.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nqueue trace written to %s\n", *csvPath)
+	}
+	return nil
+}

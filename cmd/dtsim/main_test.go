@@ -1,0 +1,75 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultsQuick(t *testing.T) {
+	err := run([]string{"-flows", "2", "-duration", "5ms", "-warmup", "1ms"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllProtocols(t *testing.T) {
+	for _, p := range []string{"dctcp", "dt-dctcp", "reno", "reno-ecn"} {
+		args := []string{"-protocol", p, "-flows", "2", "-duration", "3ms", "-warmup", "1ms"}
+		if err := run(args, io.Discard); err != nil {
+			t.Fatalf("protocol %s: %v", p, err)
+		}
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	if err := run([]string{"-protocol", "bbr"}, io.Discard); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}, io.Discard); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunInvalidConfigSurfacesError(t *testing.T) {
+	if err := run([]string{"-flows", "0"}, io.Discard); err == nil {
+		t.Fatal("flows=0 accepted")
+	}
+}
+
+func TestRunWritesCSVAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "queue.csv")
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	err := run([]string{"-flows", "2", "-duration", "3ms", "-warmup", "1ms",
+		"-csv", csv, "-trace", jsonl}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "t,queue\n") {
+		t.Fatalf("csv header: %q", string(data[:20]))
+	}
+	tr, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tr), `"kind":"enqueue"`) {
+		t.Fatal("trace has no enqueue events")
+	}
+}
+
+func TestRunCSVBadPath(t *testing.T) {
+	if err := run([]string{"-flows", "2", "-duration", "2ms", "-warmup", "1ms",
+		"-csv", "/nonexistent-dir/x.csv"}, io.Discard); err == nil {
+		t.Fatal("unwritable csv path accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package dtdctcp
+
+import (
+	"testing"
+	"time"
+)
+
+// The facade is thin; these tests pin the re-exports together end to end
+// so a refactor of internal packages cannot silently break the public API.
+
+func TestFacadeDumbbell(t *testing.T) {
+	res, err := RunDumbbell(DumbbellConfig{
+		Protocol:   DTDCTCP(30, 50, 1.0/16),
+		Flows:      10,
+		Rate:       10 * Gbps,
+		RTT:        100 * time.Microsecond,
+		BufferPkts: 600,
+		Duration:   20 * time.Millisecond,
+		Warmup:     5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization < 0.8 {
+		t.Fatalf("utilization %v", res.Utilization)
+	}
+}
+
+func TestFacadeSweepAndQuery(t *testing.T) {
+	pts, err := SweepFlows(DumbbellConfig{
+		Protocol:   DCTCP(40, 1.0/16),
+		Rate:       10 * Gbps,
+		RTT:        100 * time.Microsecond,
+		BufferPkts: 600,
+		Duration:   10 * time.Millisecond,
+		Warmup:     2 * time.Millisecond,
+	}, []int{5})
+	if err != nil || len(pts) != 1 {
+		t.Fatalf("sweep: %v %v", pts, err)
+	}
+	q, err := RunIncast(DefaultTestbed(DCTCP(21, 1.0/16), 4), 2)
+	if err != nil || q.Rounds != 2 {
+		t.Fatalf("incast: %+v %v", q, err)
+	}
+	ct, err := RunCompletionTime(DefaultTestbed(Reno(), 4), 1)
+	if err != nil || ct.MeanCompletion <= 0 {
+		t.Fatalf("completion: %+v %v", ct, err)
+	}
+	ws, err := SweepWorkers(DefaultTestbed(RenoECN(21), 0), []int{2}, 1, RunIncast)
+	if err != nil || len(ws) != 1 {
+		t.Fatalf("worker sweep: %v %v", ws, err)
+	}
+	if _, err := RunQuery(DefaultTestbed(Reno(), 2), 1024, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeAnalysis(t *testing.T) {
+	params := PaperAnalysisParams()
+	v, err := AnalyzeStability(DCTCP(40, 1.0/16), params, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Stable {
+		t.Fatal("DCTCP at N=100 should oscillate in the analysis")
+	}
+	if v.Cycle.Amplitude <= 0 || v.Cycle.PeriodSeconds() <= 0 {
+		t.Fatalf("cycle: %+v", v.Cycle)
+	}
+	n, err := CriticalFlows(DTDCTCP(30, 50, 1.0/16), params, 2, 120)
+	if err != nil || n <= 2 {
+		t.Fatalf("critical flows: %d %v", n, err)
+	}
+	fc, err := FluidConfig(DCTCP(40, 1.0/16), params, 10, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := SolveFluid(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Queue.Len() == 0 {
+		t.Fatal("fluid trajectory empty")
+	}
+}
+
+func TestFacadeMarkerReplay(t *testing.T) {
+	traj := TriangleTrajectory(60)
+	if len(traj) != 121 {
+		t.Fatalf("trajectory length %d", len(traj))
+	}
+	dec, err := ReplayMarker(DCTCP(40, 1.0/16), traj)
+	if err != nil || len(dec) != len(traj) {
+		t.Fatalf("replay: %d %v", len(dec), err)
+	}
+}
+
+func TestFacadeMargins(t *testing.T) {
+	params := PaperAnalysisParams()
+	m, err := StabilityMargins(DCTCP(40, 1.0/16), params, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GainMargin <= 1 {
+		t.Fatalf("gain margin %v at N=20, want stable (>1)", m.GainMargin)
+	}
+	if _, err := StabilityMargins(Reno(), params, 20); err == nil {
+		t.Fatal("Reno margins should fail")
+	}
+}
+
+func TestFacadeExtensionPresets(t *testing.T) {
+	if Cubic().Name != "cubic" {
+		t.Fatal("cubic preset")
+	}
+	if D2TCP(21, 1.0/16).K != 21 {
+		t.Fatal("d2tcp preset")
+	}
+	pie := RenoPIE(1*Gbps, 500*time.Microsecond, 1)
+	if pie.NewPolicy == nil || pie.NewPolicy().Name() != "pie-ecn" {
+		t.Fatal("pie preset")
+	}
+	codel := RenoCoDel(500*time.Microsecond, 5*time.Millisecond)
+	if codel.NewPolicy == nil || codel.NewPolicy().Name() != "codel-ecn" {
+		t.Fatal("codel preset")
+	}
+}

@@ -1,0 +1,49 @@
+// Deadlines: the D²TCP extension (Vamanan et al., SIGCOMM'12) that the
+// paper cites as a DCTCP successor. Partition/aggregate responses carry a
+// completion deadline; D²TCP senders scale their ECN backoff by the
+// urgency d (penalty α^d), backing off less when the deadline is close.
+// The example sweeps the deadline tightness and reports the fraction of
+// responses that miss it under DCTCP vs D²TCP.
+//
+//	go run ./examples/deadlines
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dtdctcp"
+)
+
+func main() {
+	const workers = 32
+	const rounds = 20
+
+	fmt.Printf("deadline miss rate, %d workers × 64 KB responses, %d rounds\n", workers, rounds)
+	fmt.Println("deadline | dctcp   | d2tcp")
+	for _, deadline := range []time.Duration{
+		30 * time.Millisecond,
+		25 * time.Millisecond,
+		20 * time.Millisecond,
+		15 * time.Millisecond,
+	} {
+		row := fmt.Sprintf("%8v |", deadline)
+		for _, p := range []dtdctcp.Protocol{
+			dtdctcp.DCTCP(21, 1.0/16),
+			dtdctcp.D2TCP(21, 1.0/16),
+		} {
+			cfg := dtdctcp.DefaultTestbed(p, workers)
+			cfg.Deadline = deadline
+			res, err := dtdctcp.RunIncast(cfg, rounds)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf(" %5.1f%%  |", res.DeadlineMissRate*100)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\nd² reduces misses by backing off less when the clock is short;")
+	fmt.Println("with uniform deadlines the effect is modest — its real strength is")
+	fmt.Println("mixed-deadline traffic, which the Sender.Deadline field supports.")
+}

@@ -1,0 +1,51 @@
+// Quickstart: run ten DT-DCTCP flows over a 10 Gbps bottleneck for
+// 100 ms and print what the switch queue did — the sub-second version of
+// the paper's headline experiment.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dtdctcp"
+)
+
+func main() {
+	// The paper's simulation parameters: 10 Gbps bottleneck, 100 µs RTT,
+	// g = 1/16, double thresholds K1 = 30 / K2 = 50 packets.
+	cfg := dtdctcp.DumbbellConfig{
+		Protocol:         dtdctcp.DTDCTCP(30, 50, 1.0/16),
+		Flows:            10,
+		Rate:             10 * dtdctcp.Gbps,
+		RTT:              100 * time.Microsecond,
+		BufferPkts:       600,
+		Duration:         100 * time.Millisecond,
+		Warmup:           20 * time.Millisecond,
+		QueueSampleEvery: 50 * time.Microsecond,
+	}
+
+	res, err := dtdctcp.RunDumbbell(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("protocol:     %s\n", res.Protocol)
+	fmt.Printf("queue mean:   %.1f packets (±%.1f)\n", res.QueueMeanPkts, res.QueueStdPkts)
+	fmt.Printf("queue range:  %.0f–%.0f packets\n", res.QueueMinPkts, res.QueueMaxPkts)
+	fmt.Printf("utilization:  %.1f%%\n", res.Utilization*100)
+	fmt.Printf("CE marks:     %d, drops: %d\n", res.Marks, res.Drops)
+	fmt.Println()
+	fmt.Print(res.QueueSeries.AsciiPlot(90, 14))
+
+	// The same bottleneck under plain DCTCP, for contrast.
+	cfg.Protocol = dtdctcp.DCTCP(40, 1.0/16)
+	dc, err := dtdctcp.RunDumbbell(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfor contrast, single-threshold DCTCP: mean %.1f (±%.1f) packets\n",
+		dc.QueueMeanPkts, dc.QueueStdPkts)
+}

@@ -1,0 +1,64 @@
+// Stability: the paper's Sections IV–V workflow end to end. For each
+// marker the describing-function criterion predicts whether the queue
+// oscillates at a given flow count and, if so, the limit cycle; the fluid
+// model (Eqs. 1–3) is then integrated as an independent cross-check of
+// the oscillation amplitude.
+//
+//	go run ./examples/stability
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dtdctcp"
+)
+
+func main() {
+	params := dtdctcp.PaperAnalysisParams() // R = 100 µs, C = 10 Gbps, g = 1/16
+	dc := dtdctcp.DCTCP(40, 1.0/16)
+	dt := dtdctcp.DTDCTCP(30, 50, 1.0/16)
+
+	// 1. Describing-function verdicts (the paper's Fig. 9).
+	fmt.Println("describing-function stability across flow counts:")
+	for _, p := range []dtdctcp.Protocol{dc, dt} {
+		onset, err := dtdctcp.CriticalFlows(p, params, 2, 200)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-24s oscillation onset at N = %d\n", p.Name, onset)
+	}
+
+	// 2. Predicted limit cycle at N = 80 (both oscillate there).
+	fmt.Println("\npredicted limit cycles at N = 80:")
+	for _, p := range []dtdctcp.Protocol{dc, dt} {
+		v, err := dtdctcp.AnalyzeStability(p, params, 80)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-24s amplitude %.0f packets, period %.0f µs\n",
+			p.Name, v.Cycle.Amplitude, v.Cycle.PeriodSeconds()*1e6)
+	}
+
+	// 3. Fluid-model cross-check in its oscillatory regime (N = 40):
+	// DT-DCTCP's amplitude should be well below DCTCP's.
+	fmt.Println("\nfluid-model oscillation amplitude at N = 40 (packet units, 1.5 KB packets):")
+	fluidParams := dtdctcp.AnalysisParams{
+		CapacityPktsPerSec: 10e9 / 8 / 1500,
+		RTT:                100e-6,
+		G:                  1.0 / 16,
+	}
+	for _, p := range []dtdctcp.Protocol{dc, dt} {
+		cfg, err := dtdctcp.FluidConfig(p, fluidParams, 40, 200*time.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := dtdctcp.SolveFluid(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-24s amplitude %.1f packets (mean queue %.1f)\n",
+			p.Name, res.QueueAmplitude, res.QueueMean)
+	}
+}

@@ -1,0 +1,3 @@
+module dtdctcp
+
+go 1.22

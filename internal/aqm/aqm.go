@@ -1,0 +1,138 @@
+// Package aqm implements the queue laws compared in the paper: plain
+// DropTail, the single-threshold ECN marking of DCTCP, the paper's
+// double-threshold marking (DT-DCTCP), and RED as an additional baseline.
+//
+// A Policy decides, per arriving packet, whether the packet is accepted,
+// accepted with an ECN Congestion-Experienced mark, or dropped. The
+// switch port owns the physical buffer: running out of buffer always
+// drops, regardless of policy.
+package aqm
+
+import (
+	"time"
+
+	"dtdctcp/internal/sim"
+)
+
+// Verdict is a marking decision for one arriving packet.
+type Verdict int
+
+// Verdicts a policy can return for an arriving packet.
+const (
+	// Accept enqueues the packet unmodified.
+	Accept Verdict = iota + 1
+	// AcceptMark enqueues the packet with the CE (Congestion
+	// Experienced) codepoint set.
+	AcceptMark
+	// Drop discards the packet.
+	Drop
+)
+
+// String names the verdict for traces.
+func (v Verdict) String() string {
+	switch v {
+	case Accept:
+		return "accept"
+	case AcceptMark:
+		return "mark"
+	case Drop:
+		return "drop"
+	default:
+		return "invalid"
+	}
+}
+
+// Policy is a queue law attached to one switch port. Implementations are
+// single-goroutine, matching the event-driven simulator.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// OnArrival is consulted when a packet of size pktBytes arrives at
+	// a port whose queue currently holds qlenBytes, at virtual instant
+	// now. The verdict applies to the arriving packet.
+	OnArrival(now sim.Time, qlenBytes, pktBytes int) Verdict
+	// OnDeparture informs the policy that the queue has drained to
+	// qlenBytes after a packet left. Policies with hysteresis or timers
+	// update their state here.
+	OnDeparture(now sim.Time, qlenBytes int)
+	// Reset restores initial state so a policy value can be reused
+	// across runs.
+	Reset()
+}
+
+// LossSubstituting is implemented by queue laws whose AcceptMark verdict
+// substitutes for a drop (RED, PIE, CoDel in ECN mode): for those laws a
+// non-ECT packet must be dropped when the law signals congestion, per
+// RFC 3168 §5. Threshold markers (DCTCP, DT-DCTCP) do not implement it:
+// their marks are informational and non-ECT packets pass unharmed.
+type LossSubstituting interface {
+	// MarkSubstitutesDrop reports that AcceptMark stands in for Drop.
+	MarkSubstitutesDrop() bool
+}
+
+// DequeuePolicy is implemented by queue laws that decide at dequeue time
+// (CoDel). The port consults OnDequeue for every departing packet with
+// its measured sojourn time; Drop discards the packet instead of
+// transmitting it, AcceptMark sets CE on ECT packets.
+type DequeuePolicy interface {
+	Policy
+	// OnDequeue returns the verdict for the departing packet given its
+	// queue sojourn time and the occupancy left behind.
+	OnDequeue(now sim.Time, sojourn time.Duration, qlenBytes int) Verdict
+}
+
+// DropTail accepts every packet; the port's buffer limit provides the only
+// drop behaviour. It is the paper's configuration for the non-bottleneck
+// testbed switches.
+type DropTail struct{}
+
+// NewDropTail returns the pass-through policy.
+func NewDropTail() *DropTail { return &DropTail{} }
+
+// Name implements Policy.
+func (*DropTail) Name() string { return "droptail" }
+
+// OnArrival implements Policy: always accept (the port drops on overflow).
+func (*DropTail) OnArrival(sim.Time, int, int) Verdict { return Accept }
+
+// OnDeparture implements Policy.
+func (*DropTail) OnDeparture(sim.Time, int) {}
+
+// Reset implements Policy.
+func (*DropTail) Reset() {}
+
+// SingleThreshold is the DCTCP switch law: mark the arriving packet with
+// CE iff the instantaneous buffer occupancy is at least K at arrival.
+type SingleThreshold struct {
+	// K is the marking threshold in bytes.
+	K int
+}
+
+// NewSingleThreshold creates the DCTCP marker with threshold kBytes.
+func NewSingleThreshold(kBytes int) *SingleThreshold {
+	return &SingleThreshold{K: kBytes}
+}
+
+// NewSingleThresholdPackets creates the DCTCP marker with a threshold of
+// kPackets packets of size pktBytes, matching the paper's "K packets"
+// parameterization.
+func NewSingleThresholdPackets(kPackets, pktBytes int) *SingleThreshold {
+	return &SingleThreshold{K: kPackets * pktBytes}
+}
+
+// Name implements Policy.
+func (*SingleThreshold) Name() string { return "dctcp-single" }
+
+// OnArrival implements Policy.
+func (p *SingleThreshold) OnArrival(_ sim.Time, qlenBytes, _ int) Verdict {
+	if qlenBytes >= p.K {
+		return AcceptMark
+	}
+	return Accept
+}
+
+// OnDeparture implements Policy.
+func (*SingleThreshold) OnDeparture(sim.Time, int) {}
+
+// Reset implements Policy.
+func (*SingleThreshold) Reset() {}

@@ -1,0 +1,133 @@
+package aqm
+
+import (
+	"testing"
+	"time"
+
+	"dtdctcp/internal/sim"
+)
+
+func newTestCoDel(ecn bool) *CoDel {
+	return &CoDel{Target: 100 * time.Microsecond, Interval: time.Millisecond, ECN: ecn}
+}
+
+func TestCoDelNames(t *testing.T) {
+	if newTestCoDel(false).Name() != "codel" || newTestCoDel(true).Name() != "codel-ecn" {
+		t.Fatal("names")
+	}
+}
+
+func TestCoDelArrivalAlwaysAccepts(t *testing.T) {
+	c := newTestCoDel(false)
+	if c.OnArrival(0, 1<<30, pkt) != Accept {
+		t.Fatal("CoDel must accept at enqueue")
+	}
+	c.OnDeparture(0, 0) // no-op
+}
+
+func TestCoDelStaysQuietBelowTarget(t *testing.T) {
+	c := newTestCoDel(false)
+	now := sim.TimeZero
+	for i := 0; i < 10000; i++ {
+		now = now.Add(10 * time.Microsecond)
+		if v := c.OnDequeue(now, 50*time.Microsecond, 10*pkt); v != Accept {
+			t.Fatalf("dropped below target at step %d", i)
+		}
+	}
+	if c.Dropping() {
+		t.Fatal("entered dropping state below target")
+	}
+}
+
+func TestCoDelEntersDroppingAfterInterval(t *testing.T) {
+	c := newTestCoDel(false)
+	now := sim.TimeZero
+	drops := 0
+	// Sojourn pinned at 5× target with a full queue: after one interval
+	// CoDel must start dropping, with accelerating frequency.
+	for i := 0; i < 5000; i++ {
+		now = now.Add(10 * time.Microsecond)
+		if c.OnDequeue(now, 500*time.Microsecond, 50*pkt) == Drop {
+			drops++
+		}
+	}
+	if !c.Dropping() {
+		t.Fatal("never entered dropping state")
+	}
+	if drops < 5 {
+		t.Fatalf("drops = %d over 50 ms of persistent excess delay", drops)
+	}
+	// Drop spacing must accelerate: interval/√count shrinks.
+	if got := c.controlInterval(); got >= c.interval() {
+		t.Fatalf("control interval %v did not shrink (count=%d)", got, c.count)
+	}
+}
+
+func TestCoDelExitsWhenDelayRecovers(t *testing.T) {
+	c := newTestCoDel(false)
+	now := sim.TimeZero
+	for i := 0; i < 2000; i++ {
+		now = now.Add(10 * time.Microsecond)
+		c.OnDequeue(now, 500*time.Microsecond, 50*pkt)
+	}
+	if !c.Dropping() {
+		t.Fatal("setup: not dropping")
+	}
+	now = now.Add(10 * time.Microsecond)
+	if v := c.OnDequeue(now, 20*time.Microsecond, 10*pkt); v != Accept {
+		t.Fatalf("verdict %v on recovered delay", v)
+	}
+	if c.Dropping() {
+		t.Fatal("did not exit dropping state")
+	}
+}
+
+func TestCoDelLastMTUProtected(t *testing.T) {
+	c := newTestCoDel(false)
+	now := sim.TimeZero
+	for i := 0; i < 5000; i++ {
+		now = now.Add(10 * time.Microsecond)
+		// Huge sojourn but sub-MTU backlog: must never drop.
+		if c.OnDequeue(now, time.Second, 1000) == Drop {
+			t.Fatal("dropped the last packet")
+		}
+	}
+}
+
+func TestCoDelECNMarksInsteadOfDropping(t *testing.T) {
+	c := newTestCoDel(true)
+	now := sim.TimeZero
+	marks, drops := 0, 0
+	for i := 0; i < 5000; i++ {
+		now = now.Add(10 * time.Microsecond)
+		switch c.OnDequeue(now, 500*time.Microsecond, 50*pkt) {
+		case AcceptMark:
+			marks++
+		case Drop:
+			drops++
+		}
+	}
+	if marks == 0 || drops != 0 {
+		t.Fatalf("ECN mode: marks=%d drops=%d", marks, drops)
+	}
+}
+
+func TestCoDelDefaultsAndReset(t *testing.T) {
+	var c CoDel
+	if c.target() != 5*time.Millisecond || c.interval() != 100*time.Millisecond {
+		t.Fatal("RFC defaults")
+	}
+	cfg := newTestCoDel(true)
+	now := sim.TimeZero
+	for i := 0; i < 2000; i++ {
+		now = now.Add(10 * time.Microsecond)
+		cfg.OnDequeue(now, time.Millisecond, 50*pkt)
+	}
+	cfg.Reset()
+	if cfg.Dropping() || cfg.count != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	if cfg.Target != 100*time.Microsecond || !cfg.ECN {
+		t.Fatal("Reset must preserve configuration")
+	}
+}

@@ -1,0 +1,100 @@
+package aqm
+
+import (
+	"math/rand"
+
+	"dtdctcp/internal/sim"
+)
+
+// RED is the classic Random Early Detection queue law (Floyd/Jacobson),
+// included as an additional baseline for the ablation benchmarks. It
+// operates on the EWMA of the queue length: below MinTh nothing happens;
+// between MinTh and MaxTh the arriving packet is marked (or dropped in
+// drop mode) with probability growing linearly up to MaxP; above MaxTh
+// every packet is marked/dropped.
+type RED struct {
+	// MinTh and MaxTh are the average-queue thresholds in bytes.
+	MinTh, MaxTh int
+	// MaxP is the marking probability at MaxTh.
+	MaxP float64
+	// Weight is the queue-average EWMA weight; zero selects 0.002, the
+	// classic recommendation.
+	Weight float64
+	// ECN selects marking; when false RED drops instead.
+	ECN bool
+	// Rand supplies randomness; it must be set (the simulator passes
+	// its seeded source) for deterministic runs.
+	Rand *rand.Rand
+
+	avg    float64
+	seeded bool
+	count  int // packets since last mark, for the uniformization term
+}
+
+// Name implements Policy.
+func (p *RED) Name() string {
+	if p.ECN {
+		return "red-ecn"
+	}
+	return "red-drop"
+}
+
+// OnArrival implements Policy.
+func (p *RED) OnArrival(_ sim.Time, qlenBytes, _ int) Verdict {
+	w := p.Weight
+	if w <= 0 || w > 1 {
+		w = 0.002
+	}
+	if !p.seeded {
+		p.seeded = true
+		p.avg = float64(qlenBytes)
+	}
+	p.avg += w * (float64(qlenBytes) - p.avg)
+
+	switch {
+	case p.avg < float64(p.MinTh):
+		p.count = 0
+		return Accept
+	case p.avg >= float64(p.MaxTh):
+		p.count = 0
+		return p.congested()
+	default:
+		base := p.MaxP * (p.avg - float64(p.MinTh)) / float64(p.MaxTh-p.MinTh)
+		// Uniformize inter-mark gaps (gentle variant of the classic
+		// count correction, clamped to keep the probability valid).
+		prob := base * float64(p.count+1)
+		if prob > 1 {
+			prob = 1
+		}
+		p.count++
+		if p.Rand != nil && p.Rand.Float64() < prob {
+			p.count = 0
+			return p.congested()
+		}
+		return Accept
+	}
+}
+
+// OnDeparture implements Policy.
+func (*RED) OnDeparture(sim.Time, int) {}
+
+// MarkSubstitutesDrop implements LossSubstituting: in ECN mode the mark
+// replaces the drop the law would otherwise apply.
+func (p *RED) MarkSubstitutesDrop() bool { return true }
+
+// Reset implements Policy.
+func (p *RED) Reset() {
+	p.avg = 0
+	p.seeded = false
+	p.count = 0
+}
+
+// Avg exposes the current queue-length average for tests.
+func (p *RED) Avg() float64 { return p.avg }
+
+func (p *RED) congested() Verdict {
+	if p.ECN {
+		return AcceptMark
+	}
+	return Drop
+}

@@ -1,0 +1,244 @@
+package control
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// LimitCycle is a predicted self-oscillation: a solution of the
+// characteristic equation K₀·G(jω) = −1/N₀(X) (Eqs. 19 and 24).
+type LimitCycle struct {
+	// Amplitude is the queue oscillation amplitude X in packets.
+	Amplitude float64
+	// Frequency is ω in rad/s.
+	Frequency float64
+	// Residual is |K₀G(jω) + 1/N₀(X)| at the solution; near zero for a
+	// genuine intersection.
+	Residual float64
+}
+
+// PeriodSeconds returns the oscillation period 2π/ω.
+func (lc LimitCycle) PeriodSeconds() float64 { return 2 * math.Pi / lc.Frequency }
+
+// Verdict summarizes a stability analysis of one (plant, marker) pair.
+type Verdict struct {
+	// Stable is true when the −1/N₀ locus is not reached by the plant
+	// locus, i.e. no limit cycle is predicted (Theorems 1 and 2).
+	Stable bool
+	// Cycle is the predicted stable limit cycle when Stable is false.
+	Cycle LimitCycle
+	// ClosestApproach is the minimum distance between the two loci,
+	// normalized by the locus magnitude; ≈ 0 when they intersect.
+	ClosestApproach float64
+}
+
+// analysisTolerance is the normalized closest-approach distance below
+// which the loci are declared intersecting.
+const analysisTolerance = 1e-3
+
+// Analyze applies the describing-function stability criterion: it searches
+// for intersections of K₀·G(jω) with −1/N₀(X) and reports either
+// stability or the predicted (stable) limit cycle — the intersection with
+// the largest amplitude, following the paper's Section IV-B argument that
+// the outward crossing is the stable one.
+func Analyze(p Plant, df DF) (Verdict, error) {
+	if !p.Valid() {
+		return Verdict{}, errors.New("control: invalid plant")
+	}
+	k0 := df.K0()
+	// Frequency range: the loop dynamics live around 1/R0; scan four
+	// decades on each side.
+	wMin := 1e-2 / p.R0
+	wMax := 1e2 / p.R0
+
+	xMin := df.MinAmplitude() * (1 + 1e-9)
+	xMax := df.MinAmplitude() * 1e3
+
+	// Coarse scan over X; for each X find the plant locus point nearest
+	// to −1/N₀(X).
+	const xSteps = 400
+	bestX, bestW, bestNorm := xMin, wMin, math.Inf(1)
+	ratio := math.Log(xMax / xMin)
+	norms := make([]float64, xSteps+1)
+	xsAt := make([]float64, xSteps+1)
+	wsAt := make([]float64, xSteps+1)
+	for i := 0; i <= xSteps; i++ {
+		x := xMin * math.Exp(ratio*float64(i)/float64(xSteps))
+		xsAt[i] = x
+		norms[i] = math.Inf(1)
+		target := df.NegInvRelative(x)
+		if cmplx.IsInf(target) || cmplx.IsNaN(target) {
+			continue
+		}
+		w, dist := nearestOnLocus(p, k0, target, wMin, wMax)
+		wsAt[i] = w
+		norms[i] = dist / (1 + cmplx.Abs(target))
+		if norms[i] < bestNorm {
+			bestNorm, bestX, bestW = norms[i], x, w
+		}
+	}
+
+	normAt := func(x, w float64) float64 {
+		return cmplx.Abs(complex(k0, 0)*p.Eval(w)-df.NegInvRelative(x)) /
+			(1 + cmplx.Abs(df.NegInvRelative(x)))
+	}
+
+	// Refine the best candidate before deciding: the coarse X grid has
+	// ~1.7% spacing, which leaves a residual floor well above a true
+	// intersection's.
+	px, pw := polish(p, df, bestX, bestW)
+	best := Verdict{ClosestApproach: normAt(px, pw)}
+	best.Cycle = LimitCycle{
+		Amplitude: px,
+		Frequency: pw,
+		Residual:  cmplx.Abs(complex(k0, 0)*p.Eval(pw) - df.NegInvRelative(px)),
+	}
+	if best.ClosestApproach >= analysisTolerance {
+		best.Stable = true
+		return best, nil
+	}
+
+	// Intersections exist. The characteristic equation generally has two
+	// solutions; report the largest-X one (the stable limit cycle, per
+	// the paper's Section IV-B argument that the outward crossing is
+	// stable): polish near-miss candidates from the top of the X range.
+	for i := xSteps; i >= 0; i-- {
+		if norms[i] > 20*analysisTolerance {
+			continue
+		}
+		x, w := polish(p, df, xsAt[i], wsAt[i])
+		if normAt(x, w) < analysisTolerance {
+			best.Cycle = LimitCycle{
+				Amplitude: x,
+				Frequency: w,
+				Residual:  cmplx.Abs(complex(k0, 0)*p.Eval(w) - df.NegInvRelative(x)),
+			}
+			break
+		}
+	}
+	best.Stable = false
+	return best, nil
+}
+
+// nearestOnLocus finds the frequency whose locus point is closest to
+// target: coarse log scan plus golden-section refinement.
+func nearestOnLocus(p Plant, k0 float64, target complex128, wMin, wMax float64) (w float64, dist float64) {
+	const steps = 600
+	ratio := math.Log(wMax / wMin)
+	bestW, bestD := wMin, math.Inf(1)
+	for i := 0; i <= steps; i++ {
+		cw := wMin * math.Exp(ratio*float64(i)/float64(steps))
+		d := cmplx.Abs(complex(k0, 0)*p.Eval(cw) - target)
+		if d < bestD {
+			bestD, bestW = d, cw
+		}
+	}
+	// Golden-section refinement on log-frequency around the best sample.
+	lo := bestW * math.Exp(-ratio/steps)
+	hi := bestW * math.Exp(ratio/steps)
+	f := func(w float64) float64 {
+		return cmplx.Abs(complex(k0, 0)*p.Eval(w) - target)
+	}
+	const phi = 0.6180339887498949
+	a, b := math.Log(lo), math.Log(hi)
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := f(math.Exp(c)), f(math.Exp(d))
+	for i := 0; i < 80; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = f(math.Exp(c))
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = f(math.Exp(d))
+		}
+	}
+	w = math.Exp((a + b) / 2)
+	return w, f(w)
+}
+
+// polish runs a few rounds of coordinate descent on (X, ω) to sharpen an
+// intersection estimate.
+func polish(p Plant, df DF, x, w float64) (float64, float64) {
+	k0 := df.K0()
+	obj := func(x, w float64) float64 {
+		return cmplx.Abs(complex(k0, 0)*p.Eval(w) - df.NegInvRelative(x))
+	}
+	for iter := 0; iter < 20; iter++ {
+		// Line search in X.
+		step := x * 0.02
+		for step > x*1e-8 {
+			switch {
+			case x-step > df.MinAmplitude() && obj(x-step, w) < obj(x, w):
+				x -= step
+			case obj(x+step, w) < obj(x, w):
+				x += step
+			default:
+				step /= 2
+			}
+		}
+		// Line search in ω.
+		wstep := w * 0.02
+		for wstep > w*1e-8 {
+			switch {
+			case obj(x, w-wstep) < obj(x, w):
+				w -= wstep
+			case obj(x, w+wstep) < obj(x, w):
+				w += wstep
+			default:
+				wstep /= 2
+			}
+		}
+	}
+	return x, w
+}
+
+// CriticalN finds the smallest integer flow count in [nMin, nMax] at which
+// the loop first predicts a limit cycle, holding every other parameter
+// fixed. It returns nMax+1 when the loop is stable across the whole range.
+func CriticalN(base Plant, df DF, nMin, nMax int) (int, error) {
+	if nMin < 1 || nMax < nMin {
+		return 0, errors.New("control: invalid N range")
+	}
+	lo, hi := nMin, nMax+1
+	// Verify monotonicity assumption cheaply at the ends.
+	stableAt := func(n int) (bool, error) {
+		p := base
+		p.N = float64(n)
+		v, err := Analyze(p, df)
+		if err != nil {
+			return false, err
+		}
+		return v.Stable, nil
+	}
+	sLo, err := stableAt(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !sLo {
+		return lo, nil
+	}
+	sHi, err := stableAt(nMax)
+	if err != nil {
+		return 0, err
+	}
+	if sHi {
+		return nMax + 1, nil
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		s, err := stableAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}

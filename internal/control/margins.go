@@ -1,0 +1,99 @@
+package control
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// Margins summarizes the classical stability margins of the loop formed
+// by the plant and a describing function evaluated at its most permissive
+// amplitude (the max of −1/N₀, which is the point the locus reaches
+// first). They quantify *how far* the loop is from oscillation onset,
+// complementing the binary verdict of Analyze.
+//
+// For DCTCP the −1/N₀ locus lies on the real axis and GainMargin < 1
+// coincides exactly with Analyze's oscillation verdict. For DT-DCTCP the
+// locus is complex, and the scalar margin (measured against its minimum
+// modulus) is conservative: the plant's locus can cross that modulus
+// circle without touching the actual −1/N₀ curve, so GainMargin can dip
+// below 1 a little before Analyze declares an intersection. The ordering
+// between protocols at equal N is meaningful either way.
+type Margins struct {
+	// GainMargin is the factor by which the loop gain can grow before
+	// the locus reaches the describing function's critical point:
+	// |critical| / |K₀G(jω_pc)| at the phase crossover. > 1 is stable.
+	GainMargin float64
+	// PhaseCrossover is the frequency (rad/s) where the locus crosses
+	// the negative real axis.
+	PhaseCrossover float64
+	// PhaseMargin is the additional phase lag (radians) the loop can
+	// absorb at the gain-crossover frequency (where |K₀G| equals the
+	// critical magnitude) before oscillating. NaN when the locus never
+	// reaches the critical magnitude.
+	PhaseMargin float64
+	// GainCrossover is the frequency (rad/s) where |K₀G| crosses the
+	// critical magnitude, or 0 when it never does.
+	GainCrossover float64
+}
+
+// StabilityMargins computes the loop's margins against the describing
+// function's most permissive point. For DCTCP that point is −π on the
+// real axis (Theorem 1's max(−1/N₀)); for DT-DCTCP the locus of −1/N₀ is
+// complex and the critical point is taken at its minimum modulus.
+func StabilityMargins(p Plant, df DF) (Margins, error) {
+	if !p.Valid() {
+		return Margins{}, errors.New("control: invalid plant")
+	}
+	critical := criticalMagnitude(df)
+	k0 := df.K0()
+	wMin, wMax := 1e-2/p.R0, 1e2/p.R0
+
+	var m Margins
+	wpc, re, err := p.PhaseCrossover(k0, wMin, wMax)
+	if err != nil {
+		return Margins{}, err
+	}
+	m.PhaseCrossover = wpc
+	m.GainMargin = critical / math.Abs(re)
+
+	// Gain crossover: largest ω with |K₀G| ≥ critical (magnitude decays
+	// with ω in this plant).
+	const steps = 4000
+	ratio := math.Log(wMax / wMin)
+	gc := 0.0
+	for i := 0; i <= steps; i++ {
+		w := wMin * math.Exp(ratio*float64(i)/float64(steps))
+		if cmplx.Abs(complex(k0, 0)*p.Eval(w)) >= critical {
+			gc = w
+		}
+	}
+	if gc == 0 {
+		m.PhaseMargin = math.NaN()
+		return m, nil
+	}
+	m.GainCrossover = gc
+	phase := cmplx.Phase(complex(k0, 0) * p.Eval(gc))
+	// Distance of the phase at gain crossover from −π, unwrapped into
+	// (−π, π].
+	m.PhaseMargin = math.Pi + phase
+	for m.PhaseMargin > math.Pi {
+		m.PhaseMargin -= 2 * math.Pi
+	}
+	return m, nil
+}
+
+// criticalMagnitude returns the modulus of the describing function's most
+// permissive point: min over X of |−1/N₀(X)|.
+func criticalMagnitude(df DF) float64 {
+	xMin := df.MinAmplitude() * (1 + 1e-9)
+	best := math.Inf(1)
+	for i := 0; i <= 2000; i++ {
+		x := xMin * math.Exp(math.Log(1e3)*float64(i)/2000)
+		v := df.NegInvRelative(x)
+		if a := cmplx.Abs(v); a < best {
+			best = a
+		}
+	}
+	return best
+}

@@ -1,0 +1,76 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCriticalMagnitudeDCTCP(t *testing.T) {
+	// For DCTCP the most permissive point of −1/N₀ is −π.
+	got := criticalMagnitude(DCTCPDF{K: 40})
+	if math.Abs(got-math.Pi) > 1e-3 {
+		t.Fatalf("critical magnitude = %v, want π", got)
+	}
+}
+
+func TestMarginsTrackStability(t *testing.T) {
+	dc := DCTCPDF{K: 40}
+	// Stable regime: gain margin > 1.
+	m10, err := StabilityMargins(paperPlant(10), dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m10.GainMargin <= 1 {
+		t.Fatalf("N=10 gain margin = %v, want > 1 (stable)", m10.GainMargin)
+	}
+	// Unstable regime: gain margin < 1.
+	m80, err := StabilityMargins(paperPlant(80), dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m80.GainMargin >= 1 {
+		t.Fatalf("N=80 gain margin = %v, want < 1 (oscillating)", m80.GainMargin)
+	}
+	// The margin shrinks monotonically toward onset.
+	m40, err := StabilityMargins(paperPlant(40), dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m10.GainMargin > m40.GainMargin && m40.GainMargin > m80.GainMargin) {
+		t.Fatalf("gain margins not monotone: %v %v %v",
+			m10.GainMargin, m40.GainMargin, m80.GainMargin)
+	}
+	if m80.PhaseCrossover <= 0 {
+		t.Fatal("phase crossover missing")
+	}
+	// In the unstable regime the gain crossover exists and the phase
+	// margin is negative (the locus is already past −π there).
+	if m80.GainCrossover <= 0 || math.IsNaN(m80.PhaseMargin) || m80.PhaseMargin >= 0 {
+		t.Fatalf("N=80 phase margin = %v at %v rad/s", m80.PhaseMargin, m80.GainCrossover)
+	}
+}
+
+func TestMarginsDTDCTCPLargerThanDCTCP(t *testing.T) {
+	// At equal N in the stable band, DT-DCTCP's gain margin must exceed
+	// DCTCP's — the margin form of the paper's Fig. 9 argument.
+	for _, n := range []float64{20, 30} {
+		dc, err := StabilityMargins(paperPlant(n), DCTCPDF{K: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt, err := StabilityMargins(paperPlant(n), DTDCTCPDF{K1: 30, K2: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dt.GainMargin <= dc.GainMargin {
+			t.Fatalf("N=%v: DT margin %v should exceed DCTCP's %v",
+				n, dt.GainMargin, dc.GainMargin)
+		}
+	}
+}
+
+func TestMarginsInvalidPlant(t *testing.T) {
+	if _, err := StabilityMargins(Plant{}, DCTCPDF{K: 40}); err == nil {
+		t.Fatal("invalid plant accepted")
+	}
+}

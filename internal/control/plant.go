@@ -1,0 +1,102 @@
+// Package control implements the paper's stability machinery (Sections
+// IV–V): the linearized DCTCP plant transfer function G(jω) of Eq. (18),
+// the describing functions of the single- and double-threshold markers
+// (Eqs. 22 and 27), the relative DFs and their negative reciprocals
+// (Eqs. 23 and 28), Nyquist locus sampling, limit-cycle (intersection)
+// search, and the critical flow count at which oscillation first appears
+// (the paper's Fig. 9: N ≈ 60 for DCTCP vs N ≈ 70 for DT-DCTCP).
+package control
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// Plant is the linear part of the loop: every block of Fig. 5 except the
+// marking law, evaluated on the imaginary axis.
+//
+//	G(jω) = √(C/2NR₀) · (2g/R₀ + jω) · (N/R₀) · e^(−jωR₀)
+//	        ───────────────────────────────────────────────
+//	        (jω + g/R₀)(jω + N/(R₀²C))(jω + 1/R₀)
+type Plant struct {
+	// C is the bottleneck capacity in packets/second.
+	C float64
+	// N is the number of flows.
+	N float64
+	// R0 is the reference round-trip time in seconds.
+	R0 float64
+	// G is DCTCP's α gain g.
+	G float64
+}
+
+// Valid reports whether the parameters define a meaningful plant.
+func (p Plant) Valid() bool {
+	return p.C > 0 && p.N > 0 && p.R0 > 0 && p.G > 0 && p.G <= 1
+}
+
+// Eval returns G(jω).
+func (p Plant) Eval(w float64) complex128 {
+	jw := complex(0, w)
+	gain := math.Sqrt(p.C / (2 * p.N * p.R0))
+	num := complex(2*p.G/p.R0, 0) + jw
+	num *= complex(p.N/p.R0, 0)
+	num *= cmplx.Exp(complex(0, -w*p.R0))
+	den := (jw + complex(p.G/p.R0, 0)) *
+		(jw + complex(p.N/(p.R0*p.R0*p.C), 0)) *
+		(jw + complex(1/p.R0, 0))
+	return complex(gain, 0) * num / den
+}
+
+// Locus samples K0·G(jω) at logarithmically spaced frequencies in
+// [wMin, wMax]. The returned slices are frequencies and locus points.
+func (p Plant) Locus(k0 float64, wMin, wMax float64, points int) ([]float64, []complex128) {
+	if points < 2 || wMin <= 0 || wMax <= wMin {
+		return nil, nil
+	}
+	ws := make([]float64, points)
+	zs := make([]complex128, points)
+	ratio := math.Log(wMax / wMin)
+	for i := range ws {
+		w := wMin * math.Exp(ratio*float64(i)/float64(points-1))
+		ws[i] = w
+		zs[i] = complex(k0, 0) * p.Eval(w)
+	}
+	return ws, zs
+}
+
+// PhaseCrossover locates the first frequency where the locus crosses the
+// negative real axis (Im = 0 with Re < 0), scanning upward from wMin. It
+// returns the frequency and the (negative) real value there.
+func (p Plant) PhaseCrossover(k0, wMin, wMax float64) (w float64, re float64, err error) {
+	if !p.Valid() {
+		return 0, 0, errors.New("control: invalid plant")
+	}
+	const steps = 4000
+	ratio := math.Log(wMax / wMin)
+	prevW := wMin
+	prevIm := imag(complex(k0, 0) * p.Eval(wMin))
+	for i := 1; i <= steps; i++ {
+		cw := wMin * math.Exp(ratio*float64(i)/float64(steps))
+		z := complex(k0, 0) * p.Eval(cw)
+		if im := imag(z); prevIm != 0 && im != 0 && (prevIm < 0) != (im < 0) {
+			// Bisect the bracket.
+			lo, hi := prevW, cw
+			for iter := 0; iter < 100; iter++ {
+				mid := math.Sqrt(lo * hi)
+				if (imag(complex(k0, 0)*p.Eval(mid)) < 0) == (prevIm < 0) {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			wc := math.Sqrt(lo * hi)
+			zc := complex(k0, 0) * p.Eval(wc)
+			if real(zc) < 0 {
+				return wc, real(zc), nil
+			}
+		}
+		prevW, prevIm = cw, imag(z)
+	}
+	return 0, 0, errors.New("control: no negative-real-axis crossing found")
+}

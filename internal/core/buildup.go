@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dtdctcp/internal/netsim"
+	"dtdctcp/internal/sim"
+	"dtdctcp/internal/stats"
+	"dtdctcp/internal/tcp"
+	"dtdctcp/internal/workload"
+)
+
+// BuildupConfig is the "queue buildup" microbenchmark the paper inherits
+// from the DCTCP evaluation: a few long-lived flows keep the bottleneck
+// busy while a latency-sensitive client repeatedly fetches short
+// transfers through the same queue. The short flows' completion time
+// exposes the standing queue each protocol maintains.
+type BuildupConfig struct {
+	// Protocol selects endpoints and queue law.
+	Protocol Protocol
+	// LongFlows is the number of background bulk flows (the DCTCP paper
+	// uses 2).
+	LongFlows int
+	// ShortBytes is each short transfer's size (DCTCP paper: 20 KB).
+	ShortBytes int64
+	// ShortEvery is the idle gap between short transfers.
+	ShortEvery time.Duration
+	// Rate, RTT, BufferPkts as in DumbbellConfig.
+	Rate       netsim.Rate
+	RTT        time.Duration
+	BufferPkts int
+	// Duration bounds the run; Warmup lets the background flows settle
+	// before the first short transfer starts.
+	Duration, Warmup time.Duration
+	// Seed drives randomness.
+	Seed int64
+}
+
+// BuildupResult summarizes the short flows' experience.
+type BuildupResult struct {
+	// Protocol echoes the configuration.
+	Protocol string
+	// ShortTransfers counts completed short flows.
+	ShortTransfers int
+	// MeanFCT, P95FCT, MaxFCT summarize short-flow completion times.
+	MeanFCT, P95FCT, MaxFCT time.Duration
+	// QueueMeanPkts is the bottleneck's time-weighted mean occupancy.
+	QueueMeanPkts float64
+	// BackgroundUtilization is the long flows' share of capacity.
+	BackgroundUtilization float64
+}
+
+// RunBuildup executes the microbenchmark.
+func RunBuildup(cfg BuildupConfig) (*BuildupResult, error) {
+	if cfg.LongFlows <= 0 || cfg.ShortBytes <= 0 || cfg.Duration <= 0 ||
+		cfg.Rate <= 0 || cfg.RTT <= 0 || cfg.BufferPkts <= 0 {
+		return nil, errors.New("core: invalid buildup config")
+	}
+	if cfg.ShortEvery <= 0 {
+		cfg.ShortEvery = time.Millisecond
+	}
+
+	engine := sim.NewEngine(cfg.Seed)
+	nw := netsim.NewNetwork(engine)
+	sw := nw.AddSwitch("sw")
+	rcv := nw.AddHost("rcv")
+	pktSize := cfg.Protocol.PacketSize()
+	hop := cfg.RTT / 4
+	access := netsim.PortConfig{Rate: 10 * cfg.Rate, Delay: hop, Buffer: 4096 * pktSize}
+	bneckCfg := netsim.PortConfig{Rate: cfg.Rate, Delay: hop, Buffer: cfg.BufferPkts * pktSize}
+	if cfg.Protocol.NewPolicy != nil {
+		bneckCfg.Policy = cfg.Protocol.NewPolicy()
+	}
+	if err := nw.Connect(rcv, sw, access, bneckCfg); err != nil {
+		return nil, err
+	}
+	longHosts := make([]*netsim.Host, cfg.LongFlows)
+	for i := range longHosts {
+		longHosts[i] = nw.AddHost(fmt.Sprintf("bg%d", i))
+		if err := nw.Connect(longHosts[i], sw, access, access); err != nil {
+			return nil, err
+		}
+	}
+	shortHost := nw.AddHost("short")
+	if err := nw.Connect(shortHost, sw, access, access); err != nil {
+		return nil, err
+	}
+	if err := nw.ComputeRoutes(); err != nil {
+		return nil, err
+	}
+
+	bneck := sw.PortTo(rcv.ID())
+	rec := netsim.NewQueueRecorder(pktSize, 0)
+	rec.WarmupUntil = sim.FromDuration(cfg.Warmup)
+	bneck.SetMonitor(rec)
+
+	bg := workload.StartLongLived(engine, workload.LongLivedConfig{
+		Hosts:       longHosts,
+		Receiver:    rcv,
+		TCP:         cfg.Protocol.TCP,
+		StartJitter: cfg.RTT,
+	})
+
+	// Sequential short transfers on fresh connections, starting after
+	// warmup.
+	var fcts []float64
+	const shortFlowBase = 1 << 20
+	flowID := netsim.FlowID(shortFlowBase)
+	var launch func()
+	launch = func() {
+		flow := flowID
+		flowID++
+		s := tcp.NewSender(shortHost, flow, rcv.ID(), cfg.ShortBytes, cfg.Protocol.TCP)
+		tcp.NewReceiver(rcv, flow, shortHost.ID(), cfg.Protocol.TCP)
+		started := engine.Now()
+		s.OnComplete = func(done sim.Time) {
+			fcts = append(fcts, (done - started).Duration().Seconds())
+			shortHost.Unregister(flow)
+			rcv.Unregister(flow)
+			engine.After(cfg.ShortEvery, launch)
+		}
+		s.Start()
+	}
+	engine.Schedule(sim.FromDuration(cfg.Warmup), launch)
+
+	end := sim.FromDuration(cfg.Warmup + cfg.Duration)
+	if err := engine.RunUntil(end); err != nil {
+		return nil, err
+	}
+	rec.Finish(end)
+	if len(fcts) == 0 {
+		return nil, errors.New("core: no short transfer completed; duration too small")
+	}
+
+	res := &BuildupResult{
+		Protocol:       cfg.Protocol.Name,
+		ShortTransfers: len(fcts),
+		MeanFCT:        secondsToDuration(stats.Mean(fcts)),
+		P95FCT:         secondsToDuration(stats.Quantile(fcts, 0.95)),
+		MaxFCT:         secondsToDuration(stats.Quantile(fcts, 1)),
+		QueueMeanPkts:  rec.Mean(),
+	}
+	res.BackgroundUtilization = float64(bg.TotalAcked()) /
+		(cfg.Rate.BytesPerSecond() * (cfg.Warmup + cfg.Duration).Seconds())
+	return res, nil
+}
+
+// DefaultBuildup returns the DCTCP-paper parameters scaled to this
+// repository's simulation defaults: 2 background flows and 20 KB short
+// transfers on the 10 Gbps dumbbell.
+func DefaultBuildup(p Protocol) BuildupConfig {
+	return BuildupConfig{
+		Protocol:   p,
+		LongFlows:  2,
+		ShortBytes: 20 << 10,
+		ShortEvery: 500 * time.Microsecond,
+		Rate:       10 * netsim.Gbps,
+		RTT:        100 * time.Microsecond,
+		BufferPkts: 600,
+		Duration:   60 * time.Millisecond,
+		Warmup:     20 * time.Millisecond,
+		Seed:       1,
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"dtdctcp/internal/netsim"
+	"dtdctcp/internal/sim"
+	"dtdctcp/internal/stats"
+	"dtdctcp/internal/trace"
+	"dtdctcp/internal/workload"
+)
+
+// DumbbellConfig is the scenario of the paper's Section VI-A simulations:
+// N long-lived flows share one bottleneck of the given rate and round-trip
+// time.
+type DumbbellConfig struct {
+	// Protocol selects endpoints and queue law.
+	Protocol Protocol
+	// Flows is N, the number of long-lived flows.
+	Flows int
+	// Rate is the bottleneck link speed (the paper uses 10 Gbps).
+	Rate netsim.Rate
+	// RTT is the zero-queue round-trip time (the paper uses 100 µs).
+	RTT time.Duration
+	// BufferPkts is the bottleneck buffer in packets.
+	BufferPkts int
+	// Duration is the measured interval, after Warmup.
+	Duration time.Duration
+	// Warmup is excluded from all aggregate statistics.
+	Warmup time.Duration
+	// QueueSampleEvery decimates the queue time series; zero disables
+	// the series (aggregates are always collected).
+	QueueSampleEvery time.Duration
+	// AlphaSampleEvery sets the sampling period of the mean-α series;
+	// zero disables it.
+	AlphaSampleEvery time.Duration
+	// Seed drives all randomness (start jitter).
+	Seed int64
+	// TraceTo, when set, streams the bottleneck port's per-packet
+	// events (enqueue/dequeue/mark/drop) as JSON Lines.
+	TraceTo io.Writer
+}
+
+func (c DumbbellConfig) validate() error {
+	switch {
+	case c.Flows <= 0:
+		return errors.New("core: Flows must be positive")
+	case c.Rate <= 0:
+		return errors.New("core: Rate must be positive")
+	case c.RTT <= 0:
+		return errors.New("core: RTT must be positive")
+	case c.BufferPkts <= 0:
+		return errors.New("core: BufferPkts must be positive")
+	case c.Duration <= 0:
+		return errors.New("core: Duration must be positive")
+	default:
+		return nil
+	}
+}
+
+// DumbbellResult aggregates one dumbbell run.
+type DumbbellResult struct {
+	// Protocol and Flows echo the configuration.
+	Protocol string
+	Flows    int
+
+	// QueueMeanPkts and QueueStdPkts are the time-weighted queue
+	// statistics in packets over the measured interval (Figs. 10, 11).
+	QueueMeanPkts, QueueStdPkts float64
+	// QueueMinPkts and QueueMaxPkts bound the measured excursion.
+	QueueMinPkts, QueueMaxPkts float64
+	// QueueSeries is the decimated occupancy trace (Fig. 1), including
+	// warmup; nil when sampling was disabled.
+	QueueSeries *stats.Series
+
+	// AlphaMean is the time-average of the flows' mean α over the
+	// measured interval (Fig. 12).
+	AlphaMean float64
+	// AlphaSeries is the sampled mean-α trace; nil when disabled.
+	AlphaSeries *stats.Series
+
+	// OscPeriod is the dominant queue-oscillation period estimated from
+	// the sampled trace by autocorrelation (zero when QueueSampleEvery
+	// was unset or no periodicity was found); OscConfidence is the
+	// normalized autocorrelation at that lag. Comparable against the
+	// limit-cycle period predicted by the describing-function analysis.
+	OscPeriod     time.Duration
+	OscConfidence float64
+
+	// Utilization is bottleneck goodput ÷ capacity over the measured
+	// interval.
+	Utilization float64
+	// Marks, Drops count bottleneck CE marks and overflow drops over
+	// the whole run (warmup included).
+	Marks, Drops uint64
+	// Timeouts counts sender RTOs over the whole run.
+	Timeouts uint64
+	// Fairness is Jain's index over per-flow acknowledged bytes at the
+	// end of the run (1 = perfectly even).
+	Fairness float64
+	// PerFlowAcked lists each flow's acknowledged bytes.
+	PerFlowAcked []int64
+}
+
+// RunDumbbell executes the scenario to completion and aggregates results.
+func RunDumbbell(cfg DumbbellConfig) (*DumbbellResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine(cfg.Seed)
+	nw := netsim.NewNetwork(engine)
+	sw := nw.AddSwitch("sw")
+	rcv := nw.AddHost("rcv")
+
+	pktSize := cfg.Protocol.PacketSize()
+	// RTT splits evenly over the four link traversals.
+	hop := cfg.RTT / 4
+	access := netsim.PortConfig{
+		Rate:   10 * cfg.Rate,
+		Delay:  hop,
+		Buffer: 4096 * pktSize,
+	}
+	var policy = cfg.Protocol.NewPolicy
+	bneckCfg := netsim.PortConfig{
+		Rate:   cfg.Rate,
+		Delay:  hop,
+		Buffer: cfg.BufferPkts * pktSize,
+	}
+	if policy != nil {
+		bneckCfg.Policy = policy()
+	}
+	if err := nw.Connect(rcv, sw, access, bneckCfg); err != nil {
+		return nil, err
+	}
+	senders := make([]*netsim.Host, cfg.Flows)
+	for i := range senders {
+		senders[i] = nw.AddHost(fmt.Sprintf("s%d", i))
+		if err := nw.Connect(senders[i], sw, access, access); err != nil {
+			return nil, err
+		}
+	}
+	if err := nw.ComputeRoutes(); err != nil {
+		return nil, err
+	}
+
+	bneck := sw.PortTo(rcv.ID())
+	rec := netsim.NewQueueRecorder(pktSize, sim.FromDuration(cfg.QueueSampleEvery))
+	rec.WarmupUntil = sim.FromDuration(cfg.Warmup)
+	bneck.SetMonitor(rec)
+
+	var tracer *trace.Recorder
+	if cfg.TraceTo != nil {
+		tracer = trace.NewRecorder(cfg.TraceTo)
+		tracer.PacketSize = pktSize
+		bneck.SetTracer(tracer)
+	}
+
+	flows := workload.StartLongLived(engine, workload.LongLivedConfig{
+		Hosts:       senders,
+		Receiver:    rcv,
+		TCP:         cfg.Protocol.TCP,
+		StartJitter: cfg.RTT,
+	})
+
+	// α sampling (Fig. 12): a periodic event records the mean α.
+	var alphaSeries *stats.Series
+	if cfg.AlphaSampleEvery > 0 {
+		alphaSeries = stats.NewSeries("alpha")
+		var tick func()
+		tick = func() {
+			alphaSeries.Add(engine.Now().Seconds(), flows.MeanAlpha())
+			engine.After(cfg.AlphaSampleEvery, tick)
+		}
+		engine.After(cfg.AlphaSampleEvery, tick)
+	}
+	// Aggregate α as a time-weighted mean over the measured interval.
+	var alphaAgg stats.TimeWeighted
+	alphaEvery := cfg.RTT // one α observation per RTT is plenty
+	var alphaTick func()
+	alphaTick = func() {
+		if engine.Now() >= sim.FromDuration(cfg.Warmup) {
+			alphaAgg.Observe(engine.Now().Seconds(), flows.MeanAlpha())
+		}
+		engine.After(alphaEvery, alphaTick)
+	}
+	engine.After(alphaEvery, alphaTick)
+
+	// Snapshot bottleneck byte counts at the warmup boundary for the
+	// utilization computation.
+	var bytesAtWarmup uint64
+	engine.Schedule(sim.FromDuration(cfg.Warmup), func() {
+		bytesAtWarmup = bneck.Stats().BytesSent
+	})
+
+	end := sim.FromDuration(cfg.Warmup + cfg.Duration)
+	if err := engine.RunUntil(end); err != nil {
+		return nil, err
+	}
+	rec.Finish(end)
+	alphaAgg.Finish(end.Seconds())
+
+	res := &DumbbellResult{
+		Protocol:      cfg.Protocol.Name,
+		Flows:         cfg.Flows,
+		QueueMeanPkts: rec.Mean(),
+		QueueStdPkts:  rec.StdDev(),
+		QueueMinPkts:  rec.Min(),
+		QueueMaxPkts:  rec.Max(),
+		QueueSeries:   rec.Series(),
+		AlphaMean:     alphaAgg.Mean(),
+		AlphaSeries:   alphaSeries,
+		Marks:         bneck.Stats().Marked,
+		Drops:         bneck.Stats().DroppedOverflow,
+		Timeouts:      flows.Timeouts(),
+	}
+	acked := make([]float64, len(flows.Senders))
+	for i, snd := range flows.Senders {
+		acked[i] = float64(snd.Acked())
+		res.PerFlowAcked = append(res.PerFlowAcked, snd.Acked())
+	}
+	res.Fairness = stats.JainFairness(acked)
+	sent := float64(bneck.Stats().BytesSent - bytesAtWarmup)
+	res.Utilization = sent / (cfg.Rate.BytesPerSecond() * cfg.Duration.Seconds())
+
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			return nil, err
+		}
+	}
+
+	if res.QueueSeries != nil {
+		// Estimate the oscillation period on the post-warmup part of
+		// the trace so the slow-start transient does not dominate.
+		steady := stats.NewSeries("queue-steady")
+		for _, p := range res.QueueSeries.Points() {
+			if p.T >= cfg.Warmup.Seconds() {
+				steady.Add(p.T, p.V)
+			}
+		}
+		period, conf := stats.EstimatePeriod(steady)
+		res.OscPeriod = time.Duration(period * float64(time.Second))
+		res.OscConfidence = conf
+	}
+	return res, nil
+}
+
+// FlowSweepPoint is one (N, result-pair) sample of the paper's Figs. 10–12
+// sweep.
+type FlowSweepPoint struct {
+	// Flows is N.
+	Flows int
+	// Result is the dumbbell outcome at this N.
+	Result *DumbbellResult
+}
+
+// SweepFlows runs the dumbbell at each flow count in flows, reusing every
+// other parameter of base.
+func SweepFlows(base DumbbellConfig, flows []int) ([]FlowSweepPoint, error) {
+	out := make([]FlowSweepPoint, 0, len(flows))
+	for _, n := range flows {
+		cfg := base
+		cfg.Flows = n
+		res, err := RunDumbbell(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sweep N=%d: %w", n, err)
+		}
+		out = append(out, FlowSweepPoint{Flows: n, Result: res})
+	}
+	return out, nil
+}

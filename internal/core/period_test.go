@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Cross-check of theory against the packet simulator: in the unstable
+// regime, the queue trace must contain a genuine limit cycle (high
+// autocorrelation confidence) whose period is on the scale the
+// describing-function analysis predicts — a handful of RTTs. This is the
+// strongest end-to-end validation in the suite: the analysis (Sections
+// IV–V) and the simulation (Section VI) were built independently.
+func TestMeasuredOscillationPeriodMatchesDFPrediction(t *testing.T) {
+	params := PaperAnalysisParams()
+	cfg := paperDumbbell(DCTCP(40, 1.0/16), 80)
+	cfg.Duration = 120 * time.Millisecond
+	cfg.Warmup = 30 * time.Millisecond
+	cfg.QueueSampleEvery = 20 * time.Microsecond
+	res, err := RunDumbbell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OscConfidence < 0.5 {
+		t.Fatalf("no credible periodicity at N=80 (confidence %.2f)", res.OscConfidence)
+	}
+	v, err := AnalyzeStability(cfg.Protocol, params, cfg.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Stable {
+		t.Fatal("analysis should predict oscillation at N=80")
+	}
+	predicted := time.Duration(v.Cycle.PeriodSeconds() * float64(time.Second))
+	ratio := float64(res.OscPeriod) / float64(predicted)
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("measured period %v vs predicted %v (ratio %.2f): beyond the agreed tolerance",
+			res.OscPeriod, predicted, ratio)
+	}
+	// Both must sit at a few RTTs.
+	rtts := res.OscPeriod.Seconds() / cfg.RTT.Seconds()
+	if rtts < 2 || rtts > 15 {
+		t.Fatalf("measured period %v = %.1f RTTs, expected a handful", res.OscPeriod, rtts)
+	}
+}
+
+// The queue swing must grow with the flow count (the Fig. 1 phenomenon,
+// measured rather than eyeballed).
+func TestQueueSwingGrowsWithFlows(t *testing.T) {
+	mk := func(n int) *DumbbellResult {
+		cfg := paperDumbbell(DCTCP(40, 1.0/16), n)
+		cfg.QueueSampleEvery = 20 * time.Microsecond
+		res, err := RunDumbbell(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	small := mk(10)
+	large := mk(100)
+	swingSmall := small.QueueMaxPkts - small.QueueMinPkts
+	swingLarge := large.QueueMaxPkts - large.QueueMinPkts
+	if swingLarge < 1.5*swingSmall {
+		t.Fatalf("queue swing should grow with N: %v → %v pkts", swingSmall, swingLarge)
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dtdctcp/internal/netsim"
+	"dtdctcp/internal/sim"
+	"dtdctcp/internal/stats"
+	"dtdctcp/internal/workload"
+)
+
+// TestbedConfig reproduces the paper's NetFPGA testbed (Fig. 13) in the
+// simulator: one core switch (Switch 1) with the aggregator host and three
+// edge switches, workers spread round-robin across the edges, every link
+// at 1 Gbps. The bottleneck is the core→aggregator port: it carries the
+// protocol's marking law and a 128 KB buffer; all other ports are
+// DropTail with 512 KB, exactly as the paper configures it.
+type TestbedConfig struct {
+	// Protocol selects endpoints and the bottleneck queue law.
+	Protocol Protocol
+	// Workers is the number of responding servers (the paper's testbed
+	// has 9 physical workers but scales flows beyond that; we scale
+	// hosts with the flow count, which the simulator affords).
+	Workers int
+	// LinkRate is the port speed; the paper's NetFPGA cards run 1 Gbps.
+	LinkRate netsim.Rate
+	// BottleneckBuffer is the core→aggregator buffer in bytes (paper:
+	// 128 KB).
+	BottleneckBuffer int
+	// EdgeBuffer is every other port's buffer in bytes (paper: 512 KB).
+	EdgeBuffer int
+	// HopDelay is the per-link one-way propagation delay; the paper
+	// reports ≈100 µs RTT between hosts on the same switch, i.e. ≈25 µs
+	// per traversal.
+	HopDelay time.Duration
+	// StartJitter staggers worker responses within a round, modelling
+	// request fan-out serialization and host scheduling noise on the
+	// real testbed.
+	StartJitter time.Duration
+	// Gap is the aggregator's think time between rounds.
+	Gap time.Duration
+	// Deadline, when positive, gives every response a per-round
+	// completion deadline; D2TCP endpoints modulate their backoff with
+	// it and QueryResult reports the miss rate for every variant.
+	Deadline time.Duration
+	// FreshConnections opens new connections (slow start) every round.
+	// The default — persistent connections whose congestion state
+	// carries across rounds — matches the classic incast benchmark
+	// setup the paper inherits from Nagle et al.
+	FreshConnections bool
+	// Seed drives randomness.
+	Seed int64
+}
+
+// DefaultTestbed returns the paper's testbed parameters for a protocol.
+func DefaultTestbed(p Protocol, workers int) TestbedConfig {
+	return TestbedConfig{
+		Protocol:         p,
+		Workers:          workers,
+		LinkRate:         1 * netsim.Gbps,
+		BottleneckBuffer: 128 << 10,
+		EdgeBuffer:       512 << 10,
+		HopDelay:         25 * time.Microsecond,
+		StartJitter:      50 * time.Microsecond,
+		Gap:              100 * time.Microsecond,
+		Seed:             1,
+	}
+}
+
+func (c TestbedConfig) validate() error {
+	switch {
+	case c.Workers <= 0:
+		return errors.New("core: Workers must be positive")
+	case c.LinkRate <= 0:
+		return errors.New("core: LinkRate must be positive")
+	case c.BottleneckBuffer <= 0 || c.EdgeBuffer <= 0:
+		return errors.New("core: buffers must be positive")
+	case c.HopDelay <= 0:
+		return errors.New("core: HopDelay must be positive")
+	default:
+		return nil
+	}
+}
+
+// testbed is a built topology ready to carry queries.
+type testbed struct {
+	engine     *sim.Engine
+	aggregator *netsim.Host
+	workers    []*netsim.Host
+	bneck      *netsim.Port
+}
+
+// buildTestbed constructs the Fig. 13 topology.
+func buildTestbed(cfg TestbedConfig) (*testbed, error) {
+	engine := sim.NewEngine(cfg.Seed)
+	nw := netsim.NewNetwork(engine)
+	core := nw.AddSwitch("switch1")
+	agg := nw.AddHost("aggregator")
+
+	edge := netsim.PortConfig{Rate: cfg.LinkRate, Delay: cfg.HopDelay, Buffer: cfg.EdgeBuffer}
+	bneckCfg := netsim.PortConfig{Rate: cfg.LinkRate, Delay: cfg.HopDelay, Buffer: cfg.BottleneckBuffer}
+	if cfg.Protocol.NewPolicy != nil {
+		bneckCfg.Policy = cfg.Protocol.NewPolicy()
+	}
+	if err := nw.Connect(agg, core, edge, bneckCfg); err != nil {
+		return nil, err
+	}
+
+	const edges = 3
+	edgeSwitches := make([]*netsim.Switch, edges)
+	for i := range edgeSwitches {
+		edgeSwitches[i] = nw.AddSwitch(fmt.Sprintf("switch%d", i+2))
+		if err := nw.Connect(edgeSwitches[i], core, edge, edge); err != nil {
+			return nil, err
+		}
+	}
+	workers := make([]*netsim.Host, cfg.Workers)
+	for i := range workers {
+		workers[i] = nw.AddHost(fmt.Sprintf("worker%d", i))
+		if err := nw.Connect(workers[i], edgeSwitches[i%edges], edge, edge); err != nil {
+			return nil, err
+		}
+	}
+	if err := nw.ComputeRoutes(); err != nil {
+		return nil, err
+	}
+	return &testbed{
+		engine:     engine,
+		aggregator: agg,
+		workers:    workers,
+		bneck:      core.PortTo(agg.ID()),
+	}, nil
+}
+
+// QueryResult aggregates a repeated synchronized query experiment.
+type QueryResult struct {
+	// Protocol and Workers echo the configuration.
+	Protocol string
+	Workers  int
+	// Rounds is the number of completed repetitions.
+	Rounds int
+	// MeanGoodputBps is the average per-round application goodput
+	// (Fig. 14's y-axis).
+	MeanGoodputBps float64
+	// MeanCompletion, P95Completion, MaxCompletion summarize the
+	// query completion times (Fig. 15's y-axis).
+	MeanCompletion, P95Completion, MaxCompletion time.Duration
+	// CompletionStdDev is the standard deviation of completion times,
+	// the "severe oscillation" the paper reports for DCTCP near
+	// collapse.
+	CompletionStdDev time.Duration
+	// Timeouts counts RTO firings across all rounds; nonzero timeouts
+	// are the mechanism of Incast collapse.
+	Timeouts uint64
+	// Drops counts bottleneck overflow drops.
+	Drops uint64
+	// MissedDeadlines counts worker responses that finished past their
+	// deadline, and DeadlineMissRate normalizes it by the total number
+	// of responses (0 when no deadline was configured).
+	MissedDeadlines  int
+	DeadlineMissRate float64
+}
+
+// RunQuery executes rounds of a synchronized query on the testbed:
+// every worker sends bytesPerWorker to the aggregator simultaneously and
+// the round ends when all responses are delivered. This is the paper's
+// Incast experiment when bytesPerWorker is fixed (64 KB, Fig. 14) and the
+// completion-time experiment when bytesPerWorker = 1 MB ÷ workers
+// (Fig. 15).
+func RunQuery(cfg TestbedConfig, bytesPerWorker int64, rounds int) (*QueryResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if bytesPerWorker <= 0 || rounds <= 0 {
+		return nil, errors.New("core: bytesPerWorker and rounds must be positive")
+	}
+	tb, err := buildTestbed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	runner := workload.StartQueries(tb.engine, workload.QueryConfig{
+		Workers:        tb.workers,
+		Aggregator:     tb.aggregator,
+		BytesPerWorker: bytesPerWorker,
+		Rounds:         rounds,
+		Gap:            cfg.Gap,
+		TCP:            cfg.Protocol.TCP,
+		Persistent:     !cfg.FreshConnections,
+		StartJitter:    cfg.StartJitter,
+		Deadline:       cfg.Deadline,
+	})
+
+	// Generous horizon: every round can absorb several full backoff
+	// chains before we declare the run wedged.
+	horizon := time.Duration(rounds) * (10*time.Second + 4*time.Duration(cfg.Workers)*time.Millisecond)
+	if err := tb.engine.RunFor(horizon); err != nil {
+		return nil, err
+	}
+	if !runner.Done() {
+		return nil, fmt.Errorf("core: query run incomplete after %v: %d/%d rounds",
+			horizon, len(runner.Rounds()), rounds)
+	}
+
+	times := runner.CompletionTimes()
+	goodputs := runner.GoodputsBps()
+	res := &QueryResult{
+		Protocol:         cfg.Protocol.Name,
+		Workers:          cfg.Workers,
+		Rounds:           len(runner.Rounds()),
+		MeanGoodputBps:   stats.Mean(goodputs),
+		MeanCompletion:   secondsToDuration(stats.Mean(times)),
+		P95Completion:    secondsToDuration(stats.Quantile(times, 0.95)),
+		MaxCompletion:    secondsToDuration(stats.Quantile(times, 1)),
+		CompletionStdDev: secondsToDuration(stats.StdDev(times)),
+		Timeouts:         runner.TotalTimeouts(),
+		Drops:            tb.bneck.Stats().DroppedOverflow,
+		MissedDeadlines:  runner.TotalMissedDeadlines(),
+	}
+	if cfg.Deadline > 0 {
+		total := float64(res.Rounds * cfg.Workers)
+		if total > 0 {
+			res.DeadlineMissRate = float64(res.MissedDeadlines) / total
+		}
+	}
+	return res, nil
+}
+
+// RunIncast is the Fig. 14 experiment: fixed 64 KB per worker.
+func RunIncast(cfg TestbedConfig, rounds int) (*QueryResult, error) {
+	return RunQuery(cfg, 64<<10, rounds)
+}
+
+// RunCompletionTime is the Fig. 15 experiment: 1 MB split evenly over the
+// workers.
+func RunCompletionTime(cfg TestbedConfig, rounds int) (*QueryResult, error) {
+	per := int64(1<<20) / int64(cfg.Workers)
+	if per <= 0 {
+		return nil, errors.New("core: too many workers for 1 MB query")
+	}
+	return RunQuery(cfg, per, rounds)
+}
+
+// WorkerSweepPoint is one (n, result) sample of the Figs. 14–15 sweeps.
+type WorkerSweepPoint struct {
+	// Workers is the synchronized flow count.
+	Workers int
+	// Result is the query outcome at this count.
+	Result *QueryResult
+}
+
+// SweepWorkers repeats run for each worker count, cloning base.
+func SweepWorkers(base TestbedConfig, workers []int, rounds int,
+	run func(TestbedConfig, int) (*QueryResult, error)) ([]WorkerSweepPoint, error) {
+	out := make([]WorkerSweepPoint, 0, len(workers))
+	for _, n := range workers {
+		cfg := base
+		cfg.Workers = n
+		res, err := run(cfg, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("sweep workers=%d: %w", n, err)
+		}
+		out = append(out, WorkerSweepPoint{Workers: n, Result: res})
+	}
+	return out, nil
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,274 @@
+// Package fluid implements the DCTCP fluid model the paper's analysis is
+// built on (Eqs. 1–3, from Alizadeh et al., SIGMETRICS'11):
+//
+//	dW/dt = 1/R − W·α/(2R) · p(t−R₀)
+//	dα/dt = (g/R) · (p(t−R₀) − α)
+//	dq/dt = N·W/R − C
+//
+// with p the marking law evaluated on the delayed queue state. The
+// single-threshold law p = 𝟙{q > K} models DCTCP; the double-threshold law
+// marks above K1 while the queue grows and above K2 while it falls,
+// modelling DT-DCTCP (see internal/aqm for the packet-level equivalent).
+//
+// The delay differential system is integrated by the method of steps with
+// a fixed-step RK4 and linear interpolation into the solution history.
+package fluid
+
+import (
+	"errors"
+	"math"
+
+	"dtdctcp/internal/stats"
+)
+
+// MarkingLaw maps the (delayed) queue state to a marking probability.
+type MarkingLaw interface {
+	// Name identifies the law in output.
+	Name() string
+	// P returns the marking probability given the queue length q
+	// (packets) and its derivative qdot (packets/sec).
+	P(q, qdot float64) float64
+}
+
+// SingleThreshold is DCTCP's relay law: p = 𝟙{q > K}.
+type SingleThreshold struct {
+	// K is the threshold in packets.
+	K float64
+}
+
+// Name implements MarkingLaw.
+func (SingleThreshold) Name() string { return "dctcp-single" }
+
+// P implements MarkingLaw.
+func (l SingleThreshold) P(q, _ float64) float64 {
+	if q > l.K {
+		return 1
+	}
+	return 0
+}
+
+// DoubleThreshold is DT-DCTCP's law: threshold K1 while the queue rises,
+// K2 while it falls — the hysteresis loop of the paper's Fig. 8.
+type DoubleThreshold struct {
+	// K1 is the rising-edge threshold in packets.
+	K1 float64
+	// K2 is the falling-edge threshold in packets.
+	K2 float64
+}
+
+// Name implements MarkingLaw.
+func (DoubleThreshold) Name() string { return "dt-dctcp" }
+
+// P implements MarkingLaw.
+func (l DoubleThreshold) P(q, qdot float64) float64 {
+	thr := l.K2
+	if qdot > 0 {
+		thr = l.K1
+	}
+	if q > thr {
+		return 1
+	}
+	return 0
+}
+
+// Config parameterizes one fluid-model integration.
+type Config struct {
+	// N is the number of flows.
+	N float64
+	// C is the bottleneck capacity in packets/second.
+	C float64
+	// D is the propagation (zero-queue) round-trip time in seconds.
+	D float64
+	// G is DCTCP's α gain.
+	G float64
+	// Law is the marking law (DCTCP or DT-DCTCP).
+	Law MarkingLaw
+	// FixedRTT, when true, freezes R(t) at R₀ = D + K/C as the paper's
+	// linearization does; otherwise R(t) = D + q/C.
+	FixedRTT bool
+	// RTTRefQueue is the queue value (packets) defining R₀ (the paper
+	// uses K). Also the delay of the marking feedback.
+	RTTRefQueue float64
+	// Duration is the integration horizon in seconds.
+	Duration float64
+	// Step is the RK4 step in seconds; zero selects R₀/50.
+	Step float64
+	// W0, Alpha0, Q0 are initial conditions; zero values start the
+	// system at W=1, α=0, q=0 (a cold start).
+	W0, Alpha0, Q0 float64
+	// SampleEvery decimates the output series (seconds); zero selects
+	// one sample per 10 steps.
+	SampleEvery float64
+	// BufferLimit, when positive, caps q (packets) like a finite buffer.
+	BufferLimit float64
+}
+
+// R0 returns the reference RTT R₀ = D + RTTRefQueue/C.
+func (c Config) R0() float64 { return c.D + c.RTTRefQueue/c.C }
+
+// OperatingPoint returns the analytic equilibrium of the model
+// (Section V-A): W₀ = R₀C/N and α₀ = p₀ = √(2/W₀).
+func (c Config) OperatingPoint() (w0, alpha0 float64) {
+	w0 = c.R0() * c.C / c.N
+	alpha0 = math.Sqrt(2 / w0)
+	return w0, alpha0
+}
+
+// Result is the sampled trajectory of one integration.
+type Result struct {
+	// Queue, Window and Alpha are the sampled state trajectories.
+	Queue, Window, Alpha *stats.Series
+	// QueueMean and QueueStdDev summarize the second half of the run
+	// (the quasi-steady state).
+	QueueMean, QueueStdDev float64
+	// QueueAmplitude is (max−min)/2 of the queue over the second half:
+	// the oscillation amplitude the describing-function analysis
+	// predicts.
+	QueueAmplitude float64
+}
+
+// Solve integrates the model and samples the trajectory.
+func Solve(cfg Config) (*Result, error) {
+	if cfg.N <= 0 || cfg.C <= 0 || cfg.D < 0 || cfg.Law == nil || cfg.Duration <= 0 {
+		return nil, errors.New("fluid: invalid config")
+	}
+	r0 := cfg.R0()
+	h := cfg.Step
+	if h <= 0 {
+		h = r0 / 50
+	}
+	sampleEvery := cfg.SampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = 10 * h
+	}
+
+	w := cfg.W0
+	if w <= 0 {
+		w = 1
+	}
+	alpha := cfg.Alpha0
+	q := cfg.Q0
+
+	steps := int(cfg.Duration/h) + 1
+	// History of (q, qdot) at step granularity for the delayed lookup.
+	histQ := make([]float64, 0, steps+1)
+	histQd := make([]float64, 0, steps+1)
+
+	res := &Result{
+		Queue:  stats.NewSeries("q"),
+		Window: stats.NewSeries("W"),
+		Alpha:  stats.NewSeries("alpha"),
+	}
+
+	qdot := func(w, q float64) float64 {
+		return cfg.N*w/rtt(cfg, q) - cfg.C
+	}
+
+	// delayedP interpolates the queue state at t−R₀ from history; before
+	// the first R₀ the queue was empty and unmarked.
+	delayedP := func(step float64) float64 {
+		idx := step - r0/h
+		if idx < 0 {
+			return cfg.Law.P(cfg.Q0, 0)
+		}
+		i := int(idx)
+		if i >= len(histQ)-1 {
+			i = len(histQ) - 2
+			if i < 0 {
+				return cfg.Law.P(cfg.Q0, 0)
+			}
+		}
+		frac := idx - float64(i)
+		dq := histQ[i]*(1-frac) + histQ[i+1]*frac
+		dqd := histQd[i]*(1-frac) + histQd[i+1]*frac
+		return cfg.Law.P(dq, dqd)
+	}
+
+	half := cfg.Duration / 2
+	var tail stats.Welford
+	tailMin, tailMax := math.Inf(1), math.Inf(-1)
+	nextSample := 0.0
+
+	for step := 0; step < steps; step++ {
+		t := float64(step) * h
+		histQ = append(histQ, q)
+		histQd = append(histQd, qdot(w, q))
+
+		if t >= nextSample {
+			nextSample += sampleEvery
+			res.Queue.Add(t, q)
+			res.Window.Add(t, w)
+			res.Alpha.Add(t, alpha)
+		}
+		if t >= half {
+			tail.Add(q)
+			if q < tailMin {
+				tailMin = q
+			}
+			if q > tailMax {
+				tailMax = q
+			}
+		}
+
+		// The delayed input is held constant across one step (it
+		// varies on the R₀ scale, 50 steps).
+		p := delayedP(float64(step))
+
+		dW := func(w, q float64) float64 {
+			r := rtt(cfg, q)
+			return 1/r - w*alpha*p/(2*r)
+		}
+		dA := func(q, a float64) float64 {
+			return cfg.G / rtt(cfg, q) * (p - a)
+		}
+		dQ := qdot
+
+		// RK4 on the coupled (W, α, q) system.
+		k1w, k1a, k1q := dW(w, q), dA(q, alpha), dQ(w, q)
+		k2w := dW(w+h/2*k1w, q+h/2*k1q)
+		k2a := dA(q+h/2*k1q, alpha+h/2*k1a)
+		k2q := dQ(w+h/2*k1w, q+h/2*k1q)
+		k3w := dW(w+h/2*k2w, q+h/2*k2q)
+		k3a := dA(q+h/2*k2q, alpha+h/2*k2a)
+		k3q := dQ(w+h/2*k2w, q+h/2*k2q)
+		k4w := dW(w+h*k3w, q+h*k3q)
+		k4a := dA(q+h*k3q, alpha+h*k3a)
+		k4q := dQ(w+h*k3w, q+h*k3q)
+
+		w += h / 6 * (k1w + 2*k2w + 2*k3w + k4w)
+		alpha += h / 6 * (k1a + 2*k2a + 2*k3a + k4a)
+		q += h / 6 * (k1q + 2*k2q + 2*k3q + k4q)
+
+		if w < 1 {
+			w = 1
+		}
+		if alpha < 0 {
+			alpha = 0
+		} else if alpha > 1 {
+			alpha = 1
+		}
+		if q < 0 {
+			q = 0
+		}
+		if cfg.BufferLimit > 0 && q > cfg.BufferLimit {
+			q = cfg.BufferLimit
+		}
+	}
+
+	res.QueueMean = tail.Mean()
+	res.QueueStdDev = tail.StdDev()
+	if tail.Count() > 0 {
+		res.QueueAmplitude = (tailMax - tailMin) / 2
+	}
+	return res, nil
+}
+
+func rtt(cfg Config, q float64) float64 {
+	if cfg.FixedRTT {
+		return cfg.R0()
+	}
+	if q < 0 {
+		q = 0
+	}
+	return cfg.D + q/cfg.C
+}

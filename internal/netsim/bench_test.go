@@ -1,0 +1,74 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"dtdctcp/internal/aqm"
+	"dtdctcp/internal/sim"
+)
+
+// countingSink drains packets without retaining them.
+type countingSink struct{ n int }
+
+func (c *countingSink) Deliver(*Packet) { c.n++ }
+
+// benchNet wires one sender host through a switch to a sink host and
+// returns the pieces.
+func benchNet(b *testing.B, policy aqm.Policy) (*sim.Engine, *Host, *Host) {
+	b.Helper()
+	e := sim.NewEngine(1)
+	n := NewNetwork(e)
+	src := n.AddHost("src")
+	dst := n.AddHost("dst")
+	sw := n.AddSwitch("sw")
+	cfg := PortConfig{Rate: 100 * Gbps, Delay: time.Microsecond, Buffer: 1 << 24, Policy: policy}
+	if err := n.Connect(src, sw, cfg, cfg); err != nil {
+		b.Fatal(err)
+	}
+	if err := n.Connect(dst, sw, cfg, cfg); err != nil {
+		b.Fatal(err)
+	}
+	if err := n.ComputeRoutes(); err != nil {
+		b.Fatal(err)
+	}
+	return e, src, dst
+}
+
+// benchForward measures end-to-end packet forwarding cost per packet for a
+// given queue law.
+func benchForward(b *testing.B, policy aqm.Policy) {
+	e, src, dst := benchNet(b, policy)
+	sink := &countingSink{}
+	dst.Register(1, sink)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Send(&Packet{Flow: 1, Dst: dst.ID(), Size: 1500, ECT: true})
+		if i%256 == 255 {
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if sink.n == 0 {
+		b.Fatal("nothing delivered")
+	}
+}
+
+func BenchmarkForwardDropTail(b *testing.B) { benchForward(b, nil) }
+
+func BenchmarkForwardSingleThreshold(b *testing.B) {
+	benchForward(b, aqm.NewSingleThresholdPackets(40, 1500))
+}
+
+func BenchmarkForwardDoubleThreshold(b *testing.B) {
+	benchForward(b, aqm.NewDoubleThresholdPackets(30, 50, 1500))
+}
+
+func BenchmarkForwardCoDel(b *testing.B) {
+	benchForward(b, &aqm.CoDel{Target: 100 * time.Microsecond, Interval: time.Millisecond, ECN: true})
+}

@@ -1,0 +1,79 @@
+package netsim
+
+import (
+	"dtdctcp/internal/sim"
+	"dtdctcp/internal/stats"
+)
+
+// QueueRecorder collects queue statistics from a port: a time-weighted
+// mean/deviation over the whole run and, optionally, a decimated time
+// series for plotting. Attach with Port.SetMonitor.
+type QueueRecorder struct {
+	// PacketSize, when positive, converts byte occupancy to packets in
+	// the recorded series (the paper reports queue length in packets).
+	PacketSize int
+	// SampleEvery decimates the time series: at most one point per
+	// interval. Zero records only aggregates, no series.
+	SampleEvery sim.Time
+	// WarmupUntil discards aggregate observations before this instant so
+	// slow-start transients don't pollute steady-state statistics. The
+	// series still records the warmup, matching the paper's Fig. 1.
+	WarmupUntil sim.Time
+
+	tw         stats.TimeWeighted
+	series     *stats.Series
+	lastSample sim.Time
+	warmedUp   bool
+}
+
+// NewQueueRecorder creates a recorder that reports queue length in packets
+// of pktSize bytes and samples the time series at most every sampleEvery.
+func NewQueueRecorder(pktSize int, sampleEvery sim.Time) *QueueRecorder {
+	r := &QueueRecorder{PacketSize: pktSize, SampleEvery: sampleEvery, lastSample: -1}
+	if sampleEvery > 0 {
+		r.series = stats.NewSeries("queue")
+	}
+	return r
+}
+
+// QueueChanged implements QueueMonitor.
+func (r *QueueRecorder) QueueChanged(now sim.Time, qlenBytes int) {
+	v := float64(qlenBytes)
+	if r.PacketSize > 0 {
+		v /= float64(r.PacketSize)
+	}
+	if now >= r.WarmupUntil {
+		if !r.warmedUp {
+			r.warmedUp = true
+		}
+		r.tw.Observe(now.Seconds(), v)
+	}
+	if r.series != nil && (r.lastSample < 0 || now-r.lastSample >= r.SampleEvery) {
+		r.lastSample = now
+		r.series.Add(now.Seconds(), v)
+	}
+}
+
+// Finish closes the aggregation window at the end instant.
+func (r *QueueRecorder) Finish(end sim.Time) {
+	if r.warmedUp {
+		r.tw.Finish(end.Seconds())
+	}
+}
+
+// Mean returns the time-weighted mean occupancy (packets when PacketSize
+// is set, bytes otherwise), excluding warmup.
+func (r *QueueRecorder) Mean() float64 { return r.tw.Mean() }
+
+// StdDev returns the time-weighted standard deviation, excluding warmup.
+func (r *QueueRecorder) StdDev() float64 { return r.tw.StdDev() }
+
+// Min returns the smallest post-warmup occupancy.
+func (r *QueueRecorder) Min() float64 { return r.tw.Min() }
+
+// Max returns the largest post-warmup occupancy.
+func (r *QueueRecorder) Max() float64 { return r.tw.Max() }
+
+// Series returns the decimated time series, or nil when sampling was
+// disabled.
+func (r *QueueRecorder) Series() *stats.Series { return r.series }

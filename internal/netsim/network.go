@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"fmt"
+
+	"dtdctcp/internal/sim"
+)
+
+// Network is a collection of nodes and directed links plus static routes.
+// Build a topology with AddHost/AddSwitch/Connect, then call ComputeRoutes
+// once before starting traffic.
+type Network struct {
+	engine   *sim.Engine
+	nodes    []Node
+	hosts    []*Host
+	switches []*Switch
+	// adjacency lists the neighbours of each node in attachment order,
+	// mirrored by the switch port slices.
+	adjacency map[NodeID][]NodeID
+}
+
+// NewNetwork creates an empty topology bound to the engine.
+func NewNetwork(engine *sim.Engine) *Network {
+	return &Network{engine: engine, adjacency: make(map[NodeID][]NodeID)}
+}
+
+// Engine returns the simulation engine the network runs on.
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// AddHost creates a host node.
+func (n *Network) AddHost(name string) *Host {
+	h := &Host{
+		id:        NodeID(len(n.nodes)),
+		name:      name,
+		net:       n,
+		endpoints: make(map[FlowID]Endpoint),
+	}
+	n.nodes = append(n.nodes, h)
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// AddSwitch creates a switch node.
+func (n *Network) AddSwitch(name string) *Switch {
+	s := &Switch{
+		id:     NodeID(len(n.nodes)),
+		name:   name,
+		net:    n,
+		routes: make(map[NodeID]int),
+	}
+	n.nodes = append(n.nodes, s)
+	n.switches = append(n.switches, s)
+	return s
+}
+
+// Node returns the node with the given id.
+func (n *Network) Node(id NodeID) Node { return n.nodes[id] }
+
+// Hosts returns the hosts in creation order (shared slice; do not mutate).
+func (n *Network) Hosts() []*Host { return n.hosts }
+
+// Switches returns the switches in creation order (shared slice; do not
+// mutate).
+func (n *Network) Switches() []*Switch { return n.switches }
+
+// Connect joins two nodes with a full-duplex link: ab configures the a→b
+// direction (the port on a), ba the b→a direction. Hosts accept exactly
+// one connection.
+func (n *Network) Connect(a, b Node, ab, ba PortConfig) error {
+	if _, err := n.attach(a, b, ab); err != nil {
+		return err
+	}
+	if _, err := n.attach(b, a, ba); err != nil {
+		return err
+	}
+	n.adjacency[a.ID()] = append(n.adjacency[a.ID()], b.ID())
+	n.adjacency[b.ID()] = append(n.adjacency[b.ID()], a.ID())
+	return nil
+}
+
+func (n *Network) attach(from, to Node, cfg PortConfig) (*Port, error) {
+	port := newPort(n.engine, cfg, to)
+	switch node := from.(type) {
+	case *Host:
+		if node.uplink != nil {
+			return nil, fmt.Errorf("netsim: host %s already connected", node.name)
+		}
+		node.uplink = port
+	case *Switch:
+		node.ports = append(node.ports, port)
+	default:
+		return nil, fmt.Errorf("netsim: unknown node type %T", from)
+	}
+	return port, nil
+}
+
+// ComputeRoutes fills every switch's routing table with shortest paths
+// (hop count, BFS). It must be called after the topology is complete and
+// before any traffic is sent.
+func (n *Network) ComputeRoutes() error {
+	for _, s := range n.switches {
+		for _, dst := range n.nodes {
+			if dst.ID() == s.ID() {
+				continue
+			}
+			next, ok := n.nextHop(s.ID(), dst.ID())
+			if !ok {
+				return fmt.Errorf("netsim: no path from %s to %s", s.Name(), dst.Name())
+			}
+			idx := -1
+			for i, p := range s.ports {
+				if p.peer.ID() == next {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return fmt.Errorf("netsim: inconsistent adjacency at %s", s.Name())
+			}
+			s.routes[dst.ID()] = idx
+		}
+	}
+	return nil
+}
+
+// nextHop runs a BFS from src and returns the first hop on a shortest path
+// to dst.
+func (n *Network) nextHop(src, dst NodeID) (NodeID, bool) {
+	type entry struct {
+		node  NodeID
+		first NodeID
+	}
+	visited := make(map[NodeID]bool, len(n.nodes))
+	visited[src] = true
+	queue := make([]entry, 0, len(n.nodes))
+	for _, nb := range n.adjacency[src] {
+		if nb == dst {
+			return nb, true
+		}
+		visited[nb] = true
+		queue = append(queue, entry{node: nb, first: nb})
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		// Hosts do not forward; they can only terminate a path.
+		if _, isHost := n.nodes[cur.node].(*Host); isHost {
+			continue
+		}
+		for _, nb := range n.adjacency[cur.node] {
+			if nb == dst {
+				return cur.first, true
+			}
+			if !visited[nb] {
+				visited[nb] = true
+				queue = append(queue, entry{node: nb, first: cur.first})
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,125 @@
+package netsim
+
+import "fmt"
+
+// Node is anything packets can arrive at: a switch or a host.
+type Node interface {
+	// ID returns the node's identifier within its network.
+	ID() NodeID
+	// Receive handles a packet that finished propagation on an inbound
+	// link.
+	Receive(pkt *Packet)
+	// Name returns a human-readable label for traces.
+	Name() string
+}
+
+// Endpoint is a transport attached to a host; the host delivers every
+// packet of the endpoint's flow to it.
+type Endpoint interface {
+	// Deliver hands the endpoint an arrived packet.
+	Deliver(pkt *Packet)
+}
+
+// Switch is an output-queued store-and-forward switch with static routes.
+type Switch struct {
+	id    NodeID
+	name  string
+	net   *Network
+	ports []*Port
+	// routes maps destination node → output port index.
+	routes map[NodeID]int
+	// droppedNoRoute counts packets with no matching route.
+	droppedNoRoute uint64
+}
+
+// ID implements Node.
+func (s *Switch) ID() NodeID { return s.id }
+
+// Name implements Node.
+func (s *Switch) Name() string { return s.name }
+
+// Port returns the i-th port in attachment order.
+func (s *Switch) Port(i int) *Port { return s.ports[i] }
+
+// Ports returns the number of attached ports.
+func (s *Switch) Ports() int { return len(s.ports) }
+
+// PortTo returns the port whose link leads directly to peer, or nil.
+func (s *Switch) PortTo(peer NodeID) *Port {
+	for _, p := range s.ports {
+		if p.peer.ID() == peer {
+			return p
+		}
+	}
+	return nil
+}
+
+// Receive implements Node: forward on the static route for the packet's
+// destination.
+func (s *Switch) Receive(pkt *Packet) {
+	idx, ok := s.routes[pkt.Dst]
+	if !ok {
+		s.droppedNoRoute++
+		return
+	}
+	s.ports[idx].Send(pkt)
+}
+
+// DroppedNoRoute reports packets discarded for lack of a route.
+func (s *Switch) DroppedNoRoute() uint64 { return s.droppedNoRoute }
+
+// Host is a leaf node with a single uplink and a set of transport
+// endpoints keyed by flow.
+type Host struct {
+	id        NodeID
+	name      string
+	net       *Network
+	uplink    *Port
+	endpoints map[FlowID]Endpoint
+	// droppedNoFlow counts packets for unknown flows.
+	droppedNoFlow uint64
+}
+
+// ID implements Node.
+func (h *Host) ID() NodeID { return h.id }
+
+// Name implements Node.
+func (h *Host) Name() string { return h.name }
+
+// Uplink returns the host's single outbound port. It is nil until the
+// host is connected.
+func (h *Host) Uplink() *Port { return h.uplink }
+
+// Network returns the network the host belongs to.
+func (h *Host) Network() *Network { return h.net }
+
+// Register attaches a transport endpoint for a flow. Registering a second
+// endpoint for the same flow panics: it is always a harness bug.
+func (h *Host) Register(flow FlowID, ep Endpoint) {
+	if _, dup := h.endpoints[flow]; dup {
+		panic(fmt.Sprintf("netsim: duplicate endpoint for flow %d on %s", flow, h.name))
+	}
+	h.endpoints[flow] = ep
+}
+
+// Unregister detaches the endpoint for a flow.
+func (h *Host) Unregister(flow FlowID) { delete(h.endpoints, flow) }
+
+// Send stamps the packet's source and pushes it onto the uplink.
+func (h *Host) Send(pkt *Packet) {
+	pkt.Src = h.id
+	h.uplink.Send(pkt)
+}
+
+// Receive implements Node: deliver to the flow's endpoint.
+func (h *Host) Receive(pkt *Packet) {
+	ep, ok := h.endpoints[pkt.Flow]
+	if !ok {
+		h.droppedNoFlow++
+		return
+	}
+	ep.Deliver(pkt)
+}
+
+// DroppedNoFlow reports packets discarded for lack of an endpoint.
+func (h *Host) DroppedNoFlow() uint64 { return h.droppedNoFlow }

@@ -1,0 +1,250 @@
+package netsim
+
+import (
+	"time"
+
+	"dtdctcp/internal/aqm"
+	"dtdctcp/internal/sim"
+)
+
+// QueueMonitor observes every occupancy change of one port's queue. The
+// experiment runners attach monitors to the bottleneck port to collect the
+// queue-length statistics of Figs. 1, 10 and 11.
+type QueueMonitor interface {
+	// QueueChanged is invoked after each enqueue or dequeue with the new
+	// occupancy in bytes.
+	QueueChanged(now sim.Time, qlenBytes int)
+}
+
+// PortTracer observes per-packet events at one port, for structured
+// tracing. All hooks run synchronously on the simulation goroutine; keep
+// them cheap.
+type PortTracer interface {
+	// PacketEnqueued fires after a packet is accepted into the queue;
+	// marked reports whether this port set CE on it.
+	PacketEnqueued(now sim.Time, pkt *Packet, qlenBytes int, marked bool)
+	// PacketDequeued fires when a packet enters transmission.
+	PacketDequeued(now sim.Time, pkt *Packet, qlenBytes int)
+	// PacketDropped fires for discarded packets; overflow distinguishes
+	// buffer exhaustion from an AQM drop decision.
+	PacketDropped(now sim.Time, pkt *Packet, qlenBytes int, overflow bool)
+}
+
+// PortStats counts per-port events.
+type PortStats struct {
+	// Enqueued and Dequeued count packets accepted into and transmitted
+	// out of the queue.
+	Enqueued, Dequeued uint64
+	// Marked counts packets that left with the CE codepoint set by this
+	// port.
+	Marked uint64
+	// DroppedOverflow counts packets dropped for lack of buffer.
+	DroppedOverflow uint64
+	// DroppedPolicy counts packets dropped by the AQM policy (RED in
+	// drop mode).
+	DroppedPolicy uint64
+	// BytesSent is the total on-wire bytes transmitted.
+	BytesSent uint64
+}
+
+// Port is one output interface: a finite FIFO byte buffer drained at the
+// link rate, with an AQM policy consulted at every arrival, followed by a
+// fixed propagation delay to the peer node.
+type Port struct {
+	engine *sim.Engine
+
+	// rate and delay describe the attached link.
+	rate  Rate
+	delay time.Duration
+	// buffer is the queue capacity in bytes (the packet in transmission
+	// no longer counts against it, matching output-queued switches).
+	buffer int
+	policy aqm.Policy
+	peer   Node
+
+	queue    []*Packet
+	queueLen int // bytes
+	busy     bool
+	stats    PortStats
+	monitor  QueueMonitor
+	tracer   PortTracer
+}
+
+// PortConfig bundles the parameters of one directed link attachment.
+type PortConfig struct {
+	// Rate is the link speed.
+	Rate Rate
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Buffer is the queue capacity in bytes.
+	Buffer int
+	// Policy is the queue law; nil means DropTail.
+	Policy aqm.Policy
+}
+
+func newPort(engine *sim.Engine, cfg PortConfig, peer Node) *Port {
+	policy := cfg.Policy
+	if policy == nil {
+		policy = aqm.NewDropTail()
+	}
+	return &Port{
+		engine: engine,
+		rate:   cfg.Rate,
+		delay:  cfg.Delay,
+		buffer: cfg.Buffer,
+		policy: policy,
+		peer:   peer,
+	}
+}
+
+// SetMonitor attaches a queue monitor; pass nil to detach.
+func (p *Port) SetMonitor(m QueueMonitor) { p.monitor = m }
+
+// SetTracer attaches a per-packet tracer; pass nil to detach.
+func (p *Port) SetTracer(t PortTracer) { p.tracer = t }
+
+// Stats returns a copy of the port's counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// QueueLen returns the instantaneous queue occupancy in bytes.
+func (p *Port) QueueLen() int { return p.queueLen }
+
+// QueuePackets returns the number of queued packets.
+func (p *Port) QueuePackets() int { return len(p.queue) }
+
+// Policy returns the attached AQM policy.
+func (p *Port) Policy() aqm.Policy { return p.policy }
+
+// Rate returns the link speed.
+func (p *Port) Rate() Rate { return p.rate }
+
+// Peer returns the node at the far end of the link.
+func (p *Port) Peer() Node { return p.peer }
+
+// Send offers a packet to the port. The AQM policy is consulted with the
+// occupancy at arrival; buffer overflow always drops.
+func (p *Port) Send(pkt *Packet) {
+	verdict := p.policy.OnArrival(p.engine.Now(), p.queueLen, pkt.Size)
+	if verdict == aqm.Drop {
+		p.stats.DroppedPolicy++
+		if p.tracer != nil {
+			p.tracer.PacketDropped(p.engine.Now(), pkt, p.queueLen, false)
+		}
+		return
+	}
+	if p.queueLen+pkt.Size > p.buffer {
+		p.stats.DroppedOverflow++
+		// The policy saw an arrival that never materialized; inform it
+		// of the unchanged occupancy so trend estimators stay honest.
+		p.policy.OnDeparture(p.engine.Now(), p.queueLen)
+		if p.tracer != nil {
+			p.tracer.PacketDropped(p.engine.Now(), pkt, p.queueLen, true)
+		}
+		return
+	}
+	marked := false
+	if verdict == aqm.AcceptMark {
+		switch {
+		case pkt.ECT:
+			pkt.CE = true
+			marked = true
+			p.stats.Marked++
+		case markSubstitutesDrop(p.policy):
+			// RFC 3168 §5: a law whose mark replaces a drop must
+			// drop non-ECT traffic when it signals congestion.
+			p.stats.DroppedPolicy++
+			p.policy.OnDeparture(p.engine.Now(), p.queueLen)
+			if p.tracer != nil {
+				p.tracer.PacketDropped(p.engine.Now(), pkt, p.queueLen, false)
+			}
+			return
+		}
+	}
+	pkt.EnqueuedAt = p.engine.Now()
+	p.queue = append(p.queue, pkt)
+	p.queueLen += pkt.Size
+	p.stats.Enqueued++
+	if p.tracer != nil {
+		p.tracer.PacketEnqueued(p.engine.Now(), pkt, p.queueLen, marked)
+	}
+	p.notifyMonitor()
+	if !p.busy {
+		p.transmitNext()
+	}
+}
+
+func (p *Port) transmitNext() {
+	var pkt *Packet
+	for {
+		if len(p.queue) == 0 {
+			p.busy = false
+			return
+		}
+		p.busy = true
+		pkt = p.queue[0]
+		copy(p.queue, p.queue[1:])
+		p.queue[len(p.queue)-1] = nil
+		p.queue = p.queue[:len(p.queue)-1]
+		p.queueLen -= pkt.Size
+
+		// Dequeue-time queue laws (CoDel) may drop or mark here.
+		dq, ok := p.policy.(aqm.DequeuePolicy)
+		if !ok {
+			break
+		}
+		sojourn := (p.engine.Now() - pkt.EnqueuedAt).Duration()
+		verdict := dq.OnDequeue(p.engine.Now(), sojourn, p.queueLen)
+		if verdict == aqm.Drop {
+			p.stats.DroppedPolicy++
+			if p.tracer != nil {
+				p.tracer.PacketDropped(p.engine.Now(), pkt, p.queueLen, false)
+			}
+			p.notifyMonitor()
+			continue
+		}
+		if verdict == aqm.AcceptMark {
+			if pkt.ECT {
+				if !pkt.CE {
+					pkt.CE = true
+					p.stats.Marked++
+				}
+			} else if markSubstitutesDrop(p.policy) {
+				p.stats.DroppedPolicy++
+				if p.tracer != nil {
+					p.tracer.PacketDropped(p.engine.Now(), pkt, p.queueLen, false)
+				}
+				p.notifyMonitor()
+				continue
+			}
+		}
+		break
+	}
+	p.stats.Dequeued++
+	p.stats.BytesSent += uint64(pkt.Size)
+	p.policy.OnDeparture(p.engine.Now(), p.queueLen)
+	if p.tracer != nil {
+		p.tracer.PacketDequeued(p.engine.Now(), pkt, p.queueLen)
+	}
+	p.notifyMonitor()
+
+	txDone := p.rate.Serialization(pkt.Size)
+	p.engine.After(txDone, func() {
+		// Arrival at the peer after propagation; transmission of the
+		// next packet can begin immediately.
+		p.engine.After(p.delay, func() { p.peer.Receive(pkt) })
+		p.transmitNext()
+	})
+}
+
+// markSubstitutesDrop reports whether the policy's marks stand in for
+// drops (RFC 3168 §5 handling of non-ECT packets).
+func markSubstitutesDrop(pol aqm.Policy) bool {
+	ls, ok := pol.(aqm.LossSubstituting)
+	return ok && ls.MarkSubstitutesDrop()
+}
+
+func (p *Port) notifyMonitor() {
+	if p.monitor != nil {
+		p.monitor.QueueChanged(p.engine.Now(), p.queueLen)
+	}
+}

@@ -1,0 +1,43 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Rate is a link speed in bits per second.
+type Rate int64
+
+// Common link speeds.
+const (
+	Kbps Rate = 1e3
+	Mbps Rate = 1e6
+	Gbps Rate = 1e9
+)
+
+// Serialization returns the exact time to clock size bytes onto a link of
+// this rate. The computation stays in integers: ns = bytes·8·1e9 / rate.
+func (r Rate) Serialization(sizeBytes int) time.Duration {
+	if r <= 0 {
+		return 0
+	}
+	bits := int64(sizeBytes) * 8
+	return time.Duration(bits * int64(time.Second) / int64(r))
+}
+
+// BytesPerSecond converts the rate to a byte throughput.
+func (r Rate) BytesPerSecond() float64 { return float64(r) / 8 }
+
+// String renders the rate in the largest natural unit.
+func (r Rate) String() string {
+	switch {
+	case r >= Gbps && r%Gbps == 0:
+		return fmt.Sprintf("%dGbps", r/Gbps)
+	case r >= Mbps && r%Mbps == 0:
+		return fmt.Sprintf("%dMbps", r/Mbps)
+	case r >= Kbps && r%Kbps == 0:
+		return fmt.Sprintf("%dKbps", r/Kbps)
+	default:
+		return fmt.Sprintf("%dbps", int64(r))
+	}
+}

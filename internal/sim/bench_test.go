@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleRun measures raw event throughput: the dominant cost of
+// every packet-level experiment (each packet is ~4 events).
+func BenchmarkScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+Time(i%64), func() {})
+		if i%1024 == 1023 {
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEventChain measures the self-scheduling pattern every port's
+// transmit loop uses.
+func BenchmarkEventChain(b *testing.B) {
+	e := NewEngine(1)
+	remaining := b.N
+	var step func()
+	step = func() {
+		remaining--
+		if remaining > 0 {
+			e.After(time.Microsecond, step)
+		}
+	}
+	b.ReportAllocs()
+	e.After(time.Microsecond, step)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTimerReset measures RTO-style timer rearming.
+func BenchmarkTimerReset(b *testing.B) {
+	e := NewEngine(1)
+	tm := NewTimer(e, func() {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(time.Millisecond)
+		if i%4096 == 4095 {
+			// Drain the cancelled backlog periodically, as a real
+			// run's event loop does.
+			if err := e.RunUntil(e.Now()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	tm.Stop()
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is returned by Run variants when the engine was stopped
+// explicitly before reaching the requested horizon.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Engine is the discrete-event simulation core. It owns the virtual clock
+// and the pending-event queue. An Engine must not be shared across
+// goroutines; all model code runs inside event handlers on the caller's
+// goroutine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	rng     *rand.Rand
+	stopped bool
+
+	// processed counts events that actually ran (cancelled events are
+	// excluded). Exposed through Stats for tests and benchmarks.
+	processed uint64
+	scheduled uint64
+}
+
+// NewEngine creates an engine whose random source is seeded with seed.
+// The same seed always produces the same run.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source. Model code must
+// draw all randomness from here so a run is a pure function of its seed.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule enqueues fn to run at the absolute instant at. Scheduling in
+// the past (before Now) is a programming error and panics: allowing it
+// silently would reorder causality.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: now=%v at=%v", e.now, at))
+	}
+	ev := &Event{At: at, Run: fn, seq: e.nextSeq}
+	e.nextSeq++
+	e.scheduled++
+	e.queue.push(ev)
+	return ev
+}
+
+// After enqueues fn to run d after the current instant.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of events still queued (including lazily
+// cancelled ones).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Run processes events until the queue drains or Stop is called. It
+// returns ErrStopped in the latter case.
+func (e *Engine) Run() error {
+	return e.run(func(*Event) bool { return true })
+}
+
+// RunUntil processes events with firing times ≤ horizon. The clock is
+// left at min(horizon, time of last event) — it advances to horizon if the
+// queue drains early, so back-to-back RunUntil calls observe monotonic
+// time.
+func (e *Engine) RunUntil(horizon Time) error {
+	err := e.run(func(ev *Event) bool { return ev.At <= horizon })
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return err
+}
+
+// RunFor advances the simulation by d virtual time.
+func (e *Engine) RunFor(d time.Duration) error {
+	return e.RunUntil(e.now.Add(d))
+}
+
+func (e *Engine) run(keep func(*Event) bool) error {
+	e.stopped = false
+	for {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.queue.peek()
+		if next == nil || !keep(next) {
+			return nil
+		}
+		e.queue.pop()
+		if next.cancelled {
+			continue
+		}
+		e.now = next.At
+		e.processed++
+		next.Run()
+	}
+}
+
+// Stats reports counters about engine activity.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{Scheduled: e.scheduled, Processed: e.processed, Pending: e.queue.Len()}
+}
+
+// EngineStats is a snapshot of engine counters.
+type EngineStats struct {
+	// Scheduled is the total number of events ever enqueued.
+	Scheduled uint64
+	// Processed is the number of events whose Run hook executed.
+	Processed uint64
+	// Pending is the number of events still queued.
+	Pending int
+}

@@ -1,0 +1,110 @@
+package sim
+
+// Event is a unit of scheduled work. Events are compared first by their
+// firing time and then by their sequence number, so two events scheduled
+// for the same instant always run in the order they were scheduled. This
+// deterministic tie-break is what makes runs reproducible.
+type Event struct {
+	// At is the virtual instant the event fires.
+	At Time
+	// Run executes the event. It runs exactly once, at time At, unless
+	// the event was cancelled first.
+	Run func()
+
+	seq       uint64
+	heapIndex int
+	cancelled bool
+}
+
+// Cancel prevents a pending event from running. Cancelling an event that
+// has already fired (or was already cancelled) is a no-op. Cancellation is
+// lazy: the event stays in the queue but its Run hook is skipped when it
+// surfaces, which keeps cancellation O(1).
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+// eventHeap is a binary min-heap of events ordered by (At, seq). It
+// implements the parts of container/heap we need by hand; the hand-rolled
+// version avoids interface boxing on the hot path (tens of millions of
+// events per experiment sweep).
+type eventHeap struct {
+	items []*Event
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].heapIndex = i
+	h.items[j].heapIndex = j
+}
+
+func (h *eventHeap) push(e *Event) {
+	e.heapIndex = len(h.items)
+	h.items = append(h.items, e)
+	h.up(len(h.items) - 1)
+}
+
+func (h *eventHeap) pop() *Event {
+	n := len(h.items)
+	h.swap(0, n-1)
+	e := h.items[n-1]
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	e.heapIndex = -1
+	return e
+}
+
+func (h *eventHeap) peek() *Event {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

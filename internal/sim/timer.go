@@ -1,0 +1,55 @@
+package sim
+
+import "time"
+
+// Timer is a restartable one-shot timer bound to an engine, mirroring the
+// shape of TCP retransmission timers: arm, re-arm (which supersedes the
+// previous deadline), and stop.
+type Timer struct {
+	engine  *Engine
+	fn      func()
+	pending *Event
+}
+
+// NewTimer creates an unarmed timer that will invoke fn when it fires.
+func NewTimer(engine *Engine, fn func()) *Timer {
+	return &Timer{engine: engine, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d after the current virtual instant,
+// cancelling any previously armed deadline.
+func (t *Timer) Reset(d time.Duration) {
+	t.Stop()
+	t.pending = t.engine.After(d, func() {
+		t.pending = nil
+		t.fn()
+	})
+}
+
+// ResetAt (re)arms the timer to fire at the absolute instant at.
+func (t *Timer) ResetAt(at Time) {
+	t.Stop()
+	t.pending = t.engine.Schedule(at, func() {
+		t.pending = nil
+		t.fn()
+	})
+}
+
+// Stop disarms the timer. Stopping an unarmed timer is a no-op.
+func (t *Timer) Stop() {
+	if t.pending != nil {
+		t.pending.Cancel()
+		t.pending = nil
+	}
+}
+
+// Armed reports whether the timer has a pending deadline.
+func (t *Timer) Armed() bool { return t.pending != nil }
+
+// Deadline returns the armed firing instant, or TimeNever if unarmed.
+func (t *Timer) Deadline() Time {
+	if t.pending == nil {
+		return TimeNever
+	}
+	return t.pending.At
+}

@@ -1,0 +1,113 @@
+package stats
+
+// EstimatePeriod estimates the dominant oscillation period of a time
+// series via the first significant peak of its autocorrelation function.
+// It returns the period in the series' time unit and the normalized
+// autocorrelation at that lag (a confidence proxy in [−1, 1]); a zero
+// period means no credible periodicity was found.
+//
+// The series is resampled onto a uniform grid first (experiment traces
+// are event-sampled, hence irregular), then mean-removed. Used to compare
+// the packet simulator's measured queue oscillation against the limit
+// cycle predicted by the describing-function analysis.
+func EstimatePeriod(s *Series) (period, confidence float64) {
+	if s == nil || s.Len() < 16 {
+		return 0, 0
+	}
+	const grid = 2048
+	xs, dt := resample(s, grid)
+	if dt <= 0 {
+		return 0, 0
+	}
+	mean := Mean(xs)
+	for i := range xs {
+		xs[i] -= mean
+	}
+	var energy float64
+	for _, v := range xs {
+		energy += v * v
+	}
+	if energy == 0 {
+		return 0, 0
+	}
+
+	// Autocorrelation up to half the window.
+	maxLag := grid / 2
+	ac := make([]float64, maxLag)
+	for lag := 1; lag < maxLag; lag++ {
+		var sum float64
+		for i := 0; i+lag < len(xs); i++ {
+			sum += xs[i] * xs[i+lag]
+		}
+		ac[lag] = sum / energy
+	}
+
+	// The fundamental is the peak of the first positive excursion after
+	// the initial decay: wait until the ACF dips below zero, then track
+	// the maximum until it goes negative again (taking the global
+	// maximum instead would lock onto a harmonic multiple for
+	// sawtooth-like signals).
+	lag := 1
+	for lag < maxLag && ac[lag] > 0 {
+		lag++
+	}
+	for lag < maxLag && ac[lag] <= 0 {
+		lag++
+	}
+	bestLag, bestVal := 0, 0.0
+	for ; lag < maxLag && ac[lag] > 0; lag++ {
+		if ac[lag] > bestVal {
+			bestVal, bestLag = ac[lag], lag
+		}
+	}
+	if bestLag == 0 || bestVal < 0.05 {
+		return 0, 0
+	}
+	// Parabolic interpolation around the peak for sub-sample precision.
+	refined := float64(bestLag)
+	if bestLag > 1 && bestLag < maxLag-1 {
+		y0, y1, y2 := ac[bestLag-1], ac[bestLag], ac[bestLag+1]
+		denom := y0 - 2*y1 + y2
+		if denom != 0 {
+			refined += 0.5 * (y0 - y2) / denom
+		}
+	}
+	return refined * dt, bestVal
+}
+
+// resample maps the (possibly irregular) series onto n uniform samples
+// via linear interpolation, returning the samples and the grid step.
+func resample(s *Series, n int) ([]float64, float64) {
+	first, last := s.At(0), s.At(s.Len()-1)
+	span := last.T - first.T
+	if span <= 0 {
+		return nil, 0
+	}
+	dt := span / float64(n-1)
+	out := make([]float64, n)
+	idx := 0
+	for i := 0; i < n; i++ {
+		t := first.T + float64(i)*dt
+		for idx+1 < s.Len() && s.At(idx+1).T < t {
+			idx++
+		}
+		a := s.At(idx)
+		if idx+1 >= s.Len() {
+			out[i] = a.V
+			continue
+		}
+		b := s.At(idx + 1)
+		if b.T == a.T {
+			out[i] = b.V
+			continue
+		}
+		frac := (t - a.T) / (b.T - a.T)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		out[i] = a.V*(1-frac) + b.V*frac
+	}
+	return out, dt
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sineSeries(period float64, n int, noise float64, rng *rand.Rand) *Series {
+	s := NewSeries("sine")
+	for i := 0; i < n; i++ {
+		t := float64(i) * 0.001
+		v := math.Sin(2*math.Pi*t/period) + 5
+		if noise > 0 {
+			v += noise * (rng.Float64() - 0.5)
+		}
+		s.Add(t, v)
+	}
+	return s
+}
+
+func TestEstimatePeriodPureSine(t *testing.T) {
+	s := sineSeries(0.05, 2000, 0, nil)
+	period, conf := EstimatePeriod(s)
+	if math.Abs(period-0.05) > 0.003 {
+		t.Fatalf("period = %v, want 0.05", period)
+	}
+	if conf < 0.5 {
+		t.Fatalf("confidence = %v, want high for a pure sine", conf)
+	}
+}
+
+func TestEstimatePeriodNoisySine(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := sineSeries(0.08, 4000, 0.8, rng)
+	period, conf := EstimatePeriod(s)
+	if math.Abs(period-0.08) > 0.008 {
+		t.Fatalf("period = %v, want 0.08", period)
+	}
+	if conf <= 0 {
+		t.Fatalf("confidence = %v", conf)
+	}
+}
+
+func TestEstimatePeriodSawtooth(t *testing.T) {
+	// Queue traces are sawtooth-like, not sinusoidal; the estimator must
+	// still find the fundamental.
+	s := NewSeries("saw")
+	const period = 0.02
+	for i := 0; i < 4000; i++ {
+		t := float64(i) * 0.0005
+		phase := math.Mod(t, period) / period
+		s.Add(t, 10*phase)
+	}
+	got, _ := EstimatePeriod(s)
+	if math.Abs(got-period) > 0.002 {
+		t.Fatalf("period = %v, want %v", got, period)
+	}
+}
+
+func TestEstimatePeriodIrregularSampling(t *testing.T) {
+	// Event-driven sampling: jittered timestamps around the same sine.
+	rng := rand.New(rand.NewSource(9))
+	s := NewSeries("sine")
+	tNow := 0.0
+	for tNow < 2.0 {
+		tNow += 0.0005 + 0.0005*rng.Float64()
+		s.Add(tNow, math.Sin(2*math.Pi*tNow/0.05))
+	}
+	period, _ := EstimatePeriod(s)
+	if math.Abs(period-0.05) > 0.004 {
+		t.Fatalf("period = %v, want 0.05", period)
+	}
+}
+
+func TestEstimatePeriodDegenerateInputs(t *testing.T) {
+	if p, _ := EstimatePeriod(nil); p != 0 {
+		t.Fatal("nil series should give 0")
+	}
+	s := NewSeries("short")
+	s.Add(0, 1)
+	if p, _ := EstimatePeriod(s); p != 0 {
+		t.Fatal("short series should give 0")
+	}
+	flat := NewSeries("flat")
+	for i := 0; i < 100; i++ {
+		flat.Add(float64(i), 7)
+	}
+	if p, _ := EstimatePeriod(flat); p != 0 {
+		t.Fatal("constant series should give 0")
+	}
+	same := NewSeries("sametime")
+	for i := 0; i < 100; i++ {
+		same.Add(1, float64(i))
+	}
+	if p, _ := EstimatePeriod(same); p != 0 {
+		t.Fatal("zero-span series should give 0")
+	}
+}
+
+func TestEstimatePeriodWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewSeries("noise")
+	for i := 0; i < 2000; i++ {
+		s.Add(float64(i)*0.001, rng.Float64())
+	}
+	_, conf := EstimatePeriod(s)
+	if conf > 0.4 {
+		t.Fatalf("white noise got confidence %v; estimator is hallucinating periodicity", conf)
+	}
+}
+
+// Property: the estimate is invariant to amplitude scaling and value
+// offset.
+func TestPropertyPeriodScaleInvariant(t *testing.T) {
+	f := func(scaleRaw, offsetRaw uint8) bool {
+		scale := 0.5 + float64(scaleRaw)/32
+		offset := float64(offsetRaw)
+		base := sineSeries(0.04, 2000, 0, nil)
+		scaled := NewSeries("scaled")
+		for _, p := range base.Points() {
+			scaled.Add(p.T, p.V*scale+offset)
+		}
+		p1, _ := EstimatePeriod(base)
+		p2, _ := EstimatePeriod(scaled)
+		return math.Abs(p1-p2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package tcp
+
+import (
+	"math"
+
+	"dtdctcp/internal/sim"
+)
+
+// cubicState carries RFC 8312's congestion-avoidance state. Windows are
+// tracked in segments (the RFC's unit); conversion to bytes happens at
+// the sender boundary.
+type cubicState struct {
+	// wMax is the window (segments) at the last reduction.
+	wMax float64
+	// epochStart anchors the cubic curve; zero means no epoch yet.
+	epochStart sim.Time
+	// k is the curve's inflection offset in seconds: K = ∛(wMax·β/C).
+	k float64
+	// ackedSinceEpoch accumulates acked segments for the TCP-friendly
+	// estimate.
+	ackedSinceEpoch float64
+}
+
+// RFC 8312 constants: multiplicative decrease factor and curve scale.
+const (
+	cubicBeta = 0.7
+	cubicC    = 0.4
+)
+
+// onLoss records a congestion event and returns the new window (segments).
+func (c *cubicState) onLoss(cwndSegs float64) float64 {
+	// Fast convergence (RFC §4.6): if the window stopped growing since
+	// the last event, release capacity faster.
+	if cwndSegs < c.wMax {
+		c.wMax = cwndSegs * (1 + cubicBeta) / 2
+	} else {
+		c.wMax = cwndSegs
+	}
+	c.epochStart = 0 // re-anchor on the next ACK
+	next := cwndSegs * cubicBeta
+	if next < 2 {
+		next = 2
+	}
+	return next
+}
+
+// target returns the window (segments) the cubic curve prescribes at
+// elapsed time t into the epoch, with the TCP-friendly floor computed
+// from the acked segment count and srtt.
+func (c *cubicState) target(now sim.Time, cwndSegs, srttSec float64) float64 {
+	if c.epochStart == 0 {
+		c.epochStart = now
+		if c.wMax < cwndSegs {
+			c.wMax = cwndSegs
+		}
+		c.k = math.Cbrt(c.wMax * (1 - cubicBeta) / cubicC)
+		c.ackedSinceEpoch = 0
+	}
+	t := (now - c.epochStart).Duration().Seconds()
+	wCubic := cubicC*math.Pow(t-c.k, 3) + c.wMax
+
+	// TCP-friendly region (RFC §4.2): emulate Reno's long-term rate.
+	wEst := c.wMax*cubicBeta + 3*(1-cubicBeta)/(1+cubicBeta)*c.ackedSinceEpoch/math.Max(cwndSegs, 1)
+	if srttSec <= 0 {
+		wEst = 0
+	}
+	if wEst > wCubic {
+		return wEst
+	}
+	return wCubic
+}
+
+// onAck accumulates acked segments for the friendly-region estimate.
+func (c *cubicState) onAck(segs float64) { c.ackedSinceEpoch += segs }
+
+// reset clears all epoch state (used on RTO).
+func (c *cubicState) reset() {
+	c.epochStart = 0
+	c.ackedSinceEpoch = 0
+}

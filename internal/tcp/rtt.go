@@ -1,0 +1,58 @@
+package tcp
+
+import "time"
+
+// rttEstimator implements the Jacobson/Karels smoothed RTT and the
+// standard RTO computation (RFC 6298 constants).
+type rttEstimator struct {
+	srtt    time.Duration
+	rttvar  time.Duration
+	sampled bool
+
+	rtoMin, rtoMax, rtoInitial time.Duration
+}
+
+func newRTTEstimator(c Config) *rttEstimator {
+	return &rttEstimator{rtoMin: c.RTOMin, rtoMax: c.RTOMax, rtoInitial: c.RTOInitial}
+}
+
+// sample feeds one round-trip measurement.
+func (r *rttEstimator) sample(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if !r.sampled {
+		r.sampled = true
+		r.srtt = rtt
+		r.rttvar = rtt / 2
+		return
+	}
+	diff := r.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	r.rttvar += (diff - r.rttvar) / 4 // β = 1/4
+	r.srtt += (rtt - r.srtt) / 8      // α = 1/8
+}
+
+// rto returns the current retransmission timeout, clamped to the
+// configured bounds.
+func (r *rttEstimator) rto() time.Duration {
+	if !r.sampled {
+		return r.clamp(r.rtoInitial)
+	}
+	return r.clamp(r.srtt + 4*r.rttvar)
+}
+
+// smoothed returns the smoothed RTT, or 0 before the first sample.
+func (r *rttEstimator) smoothed() time.Duration { return r.srtt }
+
+func (r *rttEstimator) clamp(d time.Duration) time.Duration {
+	if d < r.rtoMin {
+		return r.rtoMin
+	}
+	if r.rtoMax > 0 && d > r.rtoMax {
+		return r.rtoMax
+	}
+	return d
+}

@@ -1,0 +1,511 @@
+package tcp
+
+import (
+	"math"
+	"time"
+
+	"dtdctcp/internal/netsim"
+	"dtdctcp/internal/sim"
+)
+
+// Sender is the data source of one flow. It implements window-based
+// congestion control: slow start, congestion avoidance, NewReno fast
+// retransmit/recovery, RTO with exponential backoff, and one of three ECN
+// responses (none, RFC3168, DCTCP).
+type Sender struct {
+	engine *sim.Engine
+	host   *netsim.Host
+	flow   netsim.FlowID
+	peer   netsim.NodeID
+	cfg    Config
+
+	// total is the number of payload bytes to transfer; 0 means a
+	// long-lived flow that never completes.
+	total int64
+	// Deadline, when set, is the instant the transfer should finish by;
+	// D2TCP uses it to compute the urgency factor d.
+	Deadline sim.Time
+	// OnComplete, when set, fires once when every byte is acknowledged.
+	OnComplete func(now sim.Time)
+
+	// Sequence state (bytes).
+	sndUna int64
+	sndNxt int64
+
+	// Congestion control (bytes). cwnd moves in whole-MSS steps outside
+	// slow start; caCount is the byte accumulator behind the step
+	// (Linux's snd_cwnd_cnt).
+	cwnd     float64
+	ssthresh float64
+	caCount  float64
+
+	// NewReno recovery state.
+	dupAcks    int
+	inRecovery bool
+	recover    int64
+
+	// DCTCP state.
+	alpha        float64
+	ceWindowEnd  int64 // α is updated when sndUna passes this point
+	ackedBytes   int64 // bytes acked in the current observation window
+	markedBytes  int64 // of which carried ECE
+	ecnReduced   bool  // window already reduced in this observation window
+	cwrPending   bool  // set CWR on the next data packet (RFC3168)
+	growHoldSeq  int64 // no additive increase until sndUna passes this (CWR episode)
+	cubic        cubicState
+	retxSeq      int64 // highest sequence retransmitted (Karn: skip RTT samples)
+	retxValid    bool
+	rtt          *rttEstimator
+	rtoTimer     *sim.Timer
+	rtoBackoff   int
+	started      bool
+	completed    bool
+	completeTime sim.Time
+
+	stats SenderStats
+}
+
+// SenderStats counts sender-side events.
+type SenderStats struct {
+	// SegmentsSent counts data transmissions, including retransmissions.
+	SegmentsSent uint64
+	// Retransmissions counts retransmitted segments.
+	Retransmissions uint64
+	// FastRecoveries counts entries into NewReno fast recovery.
+	FastRecoveries uint64
+	// Timeouts counts RTO firings.
+	Timeouts uint64
+	// ECEAcks counts ACKs that carried an ECN echo.
+	ECEAcks uint64
+	// AlphaUpdates counts per-window α recomputations (DCTCP).
+	AlphaUpdates uint64
+	// ECNReductions counts window reductions triggered by marks alone.
+	ECNReductions uint64
+}
+
+// NewSender creates a sender for flow on host, transmitting totalBytes of
+// payload to peer (0 = unlimited). It registers itself as the host's
+// endpoint for the flow's ACK stream. Call Start to begin transmitting.
+func NewSender(host *netsim.Host, flow netsim.FlowID, peer netsim.NodeID, totalBytes int64, cfg Config) *Sender {
+	cfg = cfg.sanitize()
+	s := &Sender{
+		engine: hostEngine(host),
+		host:   host,
+		flow:   flow,
+		peer:   peer,
+		cfg:    cfg,
+		total:  totalBytes,
+		cwnd:   float64(cfg.InitialWindow * cfg.MSS),
+		// Effectively unbounded until the first loss/mark event.
+		ssthresh: math.MaxFloat64 / 4,
+		alpha:    cfg.InitialAlpha,
+		rtt:      newRTTEstimator(cfg),
+	}
+	s.rtoTimer = sim.NewTimer(s.engine, s.onRTO)
+	host.Register(flow, s)
+	return s
+}
+
+// Extend appends more payload bytes to a (possibly completed) transfer
+// and resumes sending with the connection's congestion state intact —
+// the persistent-connection behaviour of repeated request/response
+// workloads. Extending an unlimited (totalBytes = 0) sender is a no-op.
+func (s *Sender) Extend(moreBytes int64) {
+	if s.total == 0 || moreBytes <= 0 {
+		return
+	}
+	s.total += moreBytes
+	if s.completed {
+		s.completed = false
+		s.completeTime = 0
+	}
+	if s.started {
+		s.trySend()
+	}
+}
+
+// Start begins transmission at the current instant.
+func (s *Sender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.trySend()
+}
+
+// StartAt schedules transmission to begin at the given instant.
+func (s *Sender) StartAt(at sim.Time) {
+	s.engine.Schedule(at, s.Start)
+}
+
+// Alpha returns DCTCP's current congestion estimate α.
+func (s *Sender) Alpha() float64 { return s.alpha }
+
+// Cwnd returns the congestion window in bytes.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// CwndPackets returns the congestion window in segments.
+func (s *Sender) CwndPackets() float64 { return s.cwnd / float64(s.cfg.MSS) }
+
+// Acked returns the number of acknowledged payload bytes.
+func (s *Sender) Acked() int64 { return s.sndUna }
+
+// Completed reports whether the whole transfer has been acknowledged.
+func (s *Sender) Completed() bool { return s.completed }
+
+// CompletionTime returns when the transfer completed (valid once
+// Completed reports true).
+func (s *Sender) CompletionTime() sim.Time { return s.completeTime }
+
+// SRTT exposes the smoothed RTT estimate.
+func (s *Sender) SRTT() time.Duration { return s.rtt.smoothed() }
+
+// Stats returns a copy of the sender's counters.
+func (s *Sender) Stats() SenderStats { return s.stats }
+
+// Flow returns the sender's flow ID.
+func (s *Sender) Flow() netsim.FlowID { return s.flow }
+
+// trySend transmits new segments while the congestion window allows.
+func (s *Sender) trySend() {
+	for {
+		if s.completed {
+			return
+		}
+		inFlight := float64(s.sndNxt - s.sndUna)
+		if inFlight+float64(s.cfg.MSS) > s.cwnd+0.5 {
+			return
+		}
+		payload := int64(s.cfg.MSS)
+		if s.total > 0 {
+			remaining := s.total - s.sndNxt
+			if remaining <= 0 {
+				return
+			}
+			if remaining < payload {
+				payload = remaining
+			}
+		}
+		s.transmit(s.sndNxt, int(payload))
+		s.sndNxt += payload
+	}
+}
+
+// transmit sends one segment starting at seq.
+func (s *Sender) transmit(seq int64, payload int) {
+	pkt := &netsim.Packet{
+		Flow:       s.flow,
+		Dst:        s.peer,
+		Size:       payload + s.cfg.HeaderBytes,
+		Seq:        seq,
+		PayloadLen: payload,
+		ECT:        s.cfg.ECT(),
+		SentAt:     s.engine.Now(),
+	}
+	if s.cwrPending {
+		pkt.CWR = true
+		s.cwrPending = false
+	}
+	s.stats.SegmentsSent++
+	if !s.rtoTimer.Armed() {
+		s.armRTO()
+	}
+	s.host.Send(pkt)
+}
+
+// Deliver implements netsim.Endpoint for the ACK stream.
+func (s *Sender) Deliver(pkt *netsim.Packet) {
+	if !pkt.IsAck || s.completed {
+		return
+	}
+	if pkt.ECE {
+		s.stats.ECEAcks++
+	}
+
+	switch {
+	case pkt.Ack > s.sndUna:
+		s.onNewAck(pkt)
+	case pkt.Ack == s.sndUna:
+		s.onDupAck(pkt)
+	}
+	// Stale ACK below sndUna: ignore.
+
+	s.trySend()
+}
+
+func (s *Sender) onNewAck(pkt *netsim.Packet) {
+	ackedNow := pkt.Ack - s.sndUna
+	s.sndUna = pkt.Ack
+	s.dupAcks = 0
+	s.rtoBackoff = 0
+
+	// RTT sampling with Karn's rule: skip ACKs that could have been
+	// triggered by a retransmission.
+	if pkt.EchoSentAt > 0 && (!s.retxValid || pkt.Ack > s.retxSeq) {
+		s.rtt.sample(time.Duration(s.engine.Now() - pkt.EchoSentAt))
+	}
+
+	// DCTCP accounting: every acked byte in the observation window is
+	// classified by the ACK's ECE bit.
+	if s.cfg.Variant.dctcpLike() {
+		s.ackedBytes += ackedNow
+		if pkt.ECE {
+			s.markedBytes += ackedNow
+		}
+		if s.sndUna >= s.ceWindowEnd {
+			s.updateAlphaWindow()
+		}
+	}
+
+	if s.inRecovery {
+		if s.sndUna >= s.recover {
+			// Full ACK: leave recovery, deflate.
+			s.inRecovery = false
+			s.cwnd = s.ssthresh
+		} else {
+			// Partial ACK: retransmit the next hole, stay in
+			// recovery (NewReno).
+			s.retransmitHead()
+			s.armRTO()
+			return
+		}
+	} else if s.sndUna >= s.growHoldSeq && !pkt.ECE {
+		// RFC 3168 §6.1.2: no window increase on an ACK that carries
+		// ECE, nor during the round trip that follows an ECN-triggered
+		// reduction. Without this, at small windows the per-window cut
+		// and the per-ACK increase cancel exactly and the whole system
+		// freezes into a fractional fixed point; with it, sustained
+		// marking forces windows to keep shrinking until the queue
+		// drains below the threshold — the start of the next
+		// oscillation period the paper describes in Section III.
+		s.grow(ackedNow)
+	}
+
+	// Classic ECN: halve at most once per RTT on ECE.
+	if s.cfg.Variant == RenoECN && pkt.ECE && !s.ecnReduced {
+		s.ecnReduced = true
+		s.cwrPending = true
+		s.ceWindowEnd = s.sndNxt // re-arm after one window
+		s.growHoldSeq = s.sndNxt
+		s.halve()
+		s.stats.ECNReductions++
+	}
+	if s.cfg.Variant == RenoECN && s.sndUna >= s.ceWindowEnd {
+		s.ecnReduced = false
+	}
+
+	if s.total > 0 && s.sndUna >= s.total {
+		s.complete()
+		return
+	}
+	if s.sndUna == s.sndNxt {
+		s.rtoTimer.Stop()
+	} else {
+		s.armRTO()
+	}
+}
+
+// grow applies slow start or congestion avoidance for ackedNow new bytes.
+// Congestion avoidance uses the classic integer accumulator (Linux's
+// snd_cwnd_cnt): the window steps up by one whole MSS after a full
+// window's worth of bytes is acknowledged. The quantization matters: it is
+// what keeps many small-window flows oscillating instead of settling into
+// a fractional fixed point (the regime of the paper's Fig. 1 at N = 100).
+func (s *Sender) grow(ackedNow int64) {
+	mss := float64(s.cfg.MSS)
+	if s.cwnd < s.ssthresh {
+		// Slow start: one MSS per acked MSS (byte counting).
+		s.cwnd += math.Min(float64(ackedNow), mss)
+		if s.cwnd > s.ssthresh {
+			s.cwnd = s.ssthresh
+		}
+		return
+	}
+	if s.cfg.Variant == Cubic {
+		segs := float64(ackedNow) / mss
+		s.cubic.onAck(segs)
+		cwndSegs := s.cwnd / mss
+		target := s.cubic.target(s.engine.Now(), cwndSegs, s.rtt.smoothed().Seconds())
+		// RFC 8312 §4.1: limit the per-RTT increase to 50%.
+		if target > 1.5*cwndSegs {
+			target = 1.5 * cwndSegs
+		}
+		if target > cwndSegs {
+			// Standard cnt-based pacing of the cubic curve: the
+			// window moves (target − cwnd)/cwnd per acked window.
+			s.cwnd += (target - cwndSegs) / cwndSegs * segs * mss
+		}
+		return
+	}
+	s.caCount += float64(ackedNow)
+	for s.caCount >= s.cwnd {
+		s.caCount -= s.cwnd
+		s.cwnd += mss
+	}
+}
+
+func (s *Sender) onDupAck(pkt *netsim.Packet) {
+	// A dup ACK only counts when data is outstanding.
+	if s.sndNxt == s.sndUna {
+		return
+	}
+	s.dupAcks++
+	if s.inRecovery {
+		// Window inflation per extra dup ACK.
+		s.cwnd += float64(s.cfg.MSS)
+		return
+	}
+	if s.dupAcks == 3 {
+		s.enterRecovery()
+	}
+}
+
+func (s *Sender) enterRecovery() {
+	s.stats.FastRecoveries++
+	s.inRecovery = true
+	s.recover = s.sndNxt
+	mss := float64(s.cfg.MSS)
+	if s.cfg.Variant == Cubic {
+		s.ssthresh = s.cubic.onLoss(s.cwnd/mss) * mss
+	} else {
+		s.ssthresh = math.Max(s.cwnd/2, 2*mss)
+	}
+	s.cwnd = s.ssthresh + 3*mss
+	s.retransmitHead()
+	s.armRTO()
+}
+
+// retransmitHead resends the first unacknowledged segment and returns the
+// payload length sent.
+func (s *Sender) retransmitHead() int64 {
+	payload := int64(s.cfg.MSS)
+	if s.total > 0 {
+		remaining := s.total - s.sndUna
+		if remaining < payload {
+			payload = remaining
+		}
+	}
+	if payload <= 0 {
+		return 0
+	}
+	s.stats.Retransmissions++
+	s.retxSeq = s.sndUna + payload
+	s.retxValid = true
+	s.transmit(s.sndUna, int(payload))
+	return payload
+}
+
+// onRTO handles a retransmission timeout: collapse to one segment and
+// resend from the cumulative ACK point.
+func (s *Sender) onRTO() {
+	if s.completed || s.sndUna == s.sndNxt {
+		return
+	}
+	s.stats.Timeouts++
+	if s.cfg.Variant == Cubic {
+		s.ssthresh = s.cubic.onLoss(s.cwnd/float64(s.cfg.MSS)) * float64(s.cfg.MSS)
+		s.cubic.reset()
+	} else {
+		s.ssthresh = math.Max(float64(s.sndNxt-s.sndUna)/2, float64(2*s.cfg.MSS))
+	}
+	s.cwnd = float64(s.cfg.MSS)
+	s.inRecovery = false
+	s.dupAcks = 0
+	s.rtoBackoff++
+	// Go-back-N: rewind and resend the head; sndNxt tracks the resent
+	// segment so the window accounting stays consistent.
+	s.sndNxt = s.sndUna + s.retransmitHead()
+	s.armRTO()
+}
+
+func (s *Sender) armRTO() {
+	rto := s.rtt.rto()
+	for i := 0; i < s.rtoBackoff; i++ {
+		rto *= 2
+		if rto >= s.cfg.RTOMax {
+			rto = s.cfg.RTOMax
+			break
+		}
+	}
+	s.rtoTimer.Reset(rto)
+}
+
+// halve applies the multiplicative decrease of loss-free classic ECN.
+func (s *Sender) halve() {
+	s.ssthresh = math.Max(s.cwnd/2, float64(2*s.cfg.MSS))
+	s.cwnd = s.ssthresh
+}
+
+// updateAlphaWindow closes one DCTCP observation window: update α from the
+// marked fraction and apply at most one proportional reduction per window.
+func (s *Sender) updateAlphaWindow() {
+	if s.ackedBytes > 0 {
+		frac := float64(s.markedBytes) / float64(s.ackedBytes)
+		s.alpha = (1-s.cfg.G)*s.alpha + s.cfg.G*frac
+		s.stats.AlphaUpdates++
+		if s.markedBytes > 0 {
+			// cwnd ← cwnd·(1 − p/2), floored to a whole segment
+			// count and bounded below by one segment, matching the
+			// integer window arithmetic of real implementations.
+			// For DCTCP the penalty p is α itself; for D2TCP it is
+			// α^d with d the deadline urgency.
+			penalty := s.alpha
+			if s.cfg.Variant == D2TCP {
+				penalty = math.Pow(s.alpha, s.urgency())
+			}
+			mss := float64(s.cfg.MSS)
+			cut := math.Floor(s.cwnd * (1 - penalty/2) / mss)
+			s.cwnd = math.Max(cut*mss, mss)
+			s.ssthresh = s.cwnd
+			s.caCount = 0
+			s.growHoldSeq = s.sndNxt
+			s.stats.ECNReductions++
+		}
+	}
+	s.ackedBytes = 0
+	s.markedBytes = 0
+	s.ceWindowEnd = s.sndNxt
+}
+
+// urgency computes D2TCP's deadline-imminence factor d = Tc/Δ, clamped to
+// [0.5, 2]: Tc is the time the remaining bytes need at the current rate
+// (cwnd per RTT) and Δ the time left until the deadline. A tight deadline
+// (Tc > Δ) gives d > 1, which shrinks the penalty α^d and so backs off
+// more gently; ample slack gives d < 1 and a harsher backoff. Flows with
+// no deadline, no remaining data, or no RTT estimate behave like DCTCP
+// (d = 1); flows already past their deadline use the maximum urgency.
+func (s *Sender) urgency() float64 {
+	if s.Deadline == sim.TimeZero || s.total == 0 {
+		return 1
+	}
+	remaining := float64(s.total - s.sndUna)
+	if remaining <= 0 {
+		return 1
+	}
+	srtt := s.rtt.smoothed()
+	if srtt <= 0 || s.cwnd <= 0 {
+		return 1
+	}
+	rate := s.cwnd / srtt.Seconds() // bytes per second
+	tc := remaining / rate
+	deltaLeft := (s.Deadline - s.engine.Now()).Duration().Seconds()
+	if deltaLeft <= 0 {
+		return 2 // past deadline: maximum urgency, gentlest backoff
+	}
+	d := tc / deltaLeft
+	if d < 0.5 {
+		d = 0.5
+	} else if d > 2 {
+		d = 2
+	}
+	return d
+}
+
+func (s *Sender) complete() {
+	s.completed = true
+	s.completeTime = s.engine.Now()
+	s.rtoTimer.Stop()
+	if s.OnComplete != nil {
+		s.OnComplete(s.completeTime)
+	}
+}
