@@ -312,7 +312,7 @@ func BenchmarkAblationAQM(b *testing.B) {
 	// Delay targets for PIE/CoDel: 200 µs ≈ 167 packets at 10 Gbps
 	// (window-based flows cannot hold a target much below the 100 µs
 	// RTT); CoDel's interval spans a handful of RTTs.
-	pie := RenoPIE(10*Gbps, 200*time.Microsecond, 1)
+	pie := RenoPIE(10*Gbps, 200*time.Microsecond)
 	codel := RenoCoDel(200*time.Microsecond, time.Millisecond)
 	for _, p := range []Protocol{Reno(), Cubic(), RenoECN(40), pie, codel, DCTCP(40, 1.0/16), DTDCTCP(30, 50, 1.0/16)} {
 		p := p

@@ -363,7 +363,7 @@ func extAQM(s settings, out io.Writer) error {
 		dtdctcp.Reno(),
 		dtdctcp.Cubic(),
 		dtdctcp.RenoECN(40),
-		dtdctcp.RenoPIE(10*dtdctcp.Gbps, 200*time.Microsecond, 1),
+		dtdctcp.RenoPIE(10*dtdctcp.Gbps, 200*time.Microsecond),
 		dtdctcp.RenoCoDel(200*time.Microsecond, time.Millisecond),
 		dtdctcp.DCTCP(40, 1.0/16),
 		dtdctcp.DTDCTCP(30, 50, 1.0/16),

@@ -1,0 +1,55 @@
+// Command dtlint runs the repository's custom static-analysis suite (see
+// internal/lint): determinism and correctness rules the simulator depends
+// on but the compiler cannot check.
+//
+// Usage:
+//
+//	go run ./cmd/dtlint [-list] [packages]
+//
+// Packages default to ./... and accept the usual go-list patterns. The
+// command exits 1 when any analyzer reports a finding, so it slots
+// directly into CI next to go vet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dtdctcp/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dtlint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	pkgs, err := lint.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dtlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

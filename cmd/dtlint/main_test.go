@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+
+	"dtdctcp/internal/lint"
+)
+
+// TestTreeIsClean is the acceptance gate in test form: the full dtlint
+// suite must report nothing on the repository itself, so `go test ./...`
+// alone already guards the determinism contract.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages")
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding on supposedly clean tree: %s", d)
+	}
+}
+
+// TestSuiteComplete pins the suite composition: the four analyzers the
+// determinism contract documents, in reporting order.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{"nondeterm", "maporder", "floatcmp", "simtime"}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+}

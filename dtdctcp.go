@@ -199,8 +199,8 @@ func D2TCP(kPackets int, g float64) Protocol { return core.D2TCPProto(kPackets, 
 // RenoPIE returns NewReno/ECN endpoints over a PIE queue (RFC 8033)
 // draining at the given rate and targeting the given queueing delay — a
 // delay-targeting AQM baseline contemporaneous with the paper.
-func RenoPIE(drainRate Rate, target time.Duration, seed int64) Protocol {
-	return core.RenoPIE(drainRate, target, seed)
+func RenoPIE(drainRate Rate, target time.Duration) Protocol {
+	return core.RenoPIE(drainRate, target)
 }
 
 // RenoCoDel returns NewReno/ECN endpoints over a CoDel queue (RFC 8289)

@@ -116,12 +116,12 @@ func TestFacadeExtensionPresets(t *testing.T) {
 	if D2TCP(21, 1.0/16).K != 21 {
 		t.Fatal("d2tcp preset")
 	}
-	pie := RenoPIE(1*Gbps, 500*time.Microsecond, 1)
-	if pie.NewPolicy == nil || pie.NewPolicy().Name() != "pie-ecn" {
+	pie := RenoPIE(1*Gbps, 500*time.Microsecond)
+	if pie.NewPolicy == nil || pie.NewPolicy(nil).Name() != "pie-ecn" {
 		t.Fatal("pie preset")
 	}
 	codel := RenoCoDel(500*time.Microsecond, 5*time.Millisecond)
-	if codel.NewPolicy == nil || codel.NewPolicy().Name() != "codel-ecn" {
+	if codel.NewPolicy == nil || codel.NewPolicy(nil).Name() != "codel-ecn" {
 		t.Fatal("codel preset")
 	}
 }

@@ -11,8 +11,17 @@ package aqm
 import (
 	"time"
 
+	"dtdctcp/internal/invariant"
 	"dtdctcp/internal/sim"
 )
+
+// assertOccupancy checks, under -tags invariants, that the port reported a
+// physically possible queue occupancy to the policy.
+func assertOccupancy(qlenBytes int) {
+	if invariant.Enabled {
+		invariant.Assert(qlenBytes >= 0, "aqm: negative queue occupancy %d", qlenBytes)
+	}
+}
 
 // Verdict is a marking decision for one arriving packet.
 type Verdict int
@@ -125,6 +134,7 @@ func (*SingleThreshold) Name() string { return "dctcp-single" }
 
 // OnArrival implements Policy.
 func (p *SingleThreshold) OnArrival(_ sim.Time, qlenBytes, _ int) Verdict {
+	assertOccupancy(qlenBytes)
 	if qlenBytes >= p.K {
 		return AcceptMark
 	}

@@ -1,6 +1,9 @@
 package aqm
 
-import "dtdctcp/internal/sim"
+import (
+	"dtdctcp/internal/invariant"
+	"dtdctcp/internal/sim"
+)
 
 // DoubleThreshold is the paper's DT-DCTCP switch law.
 //
@@ -76,6 +79,11 @@ func (p *DoubleThreshold) Rising() bool { return p.lastRising }
 
 // OnArrival implements Policy.
 func (p *DoubleThreshold) OnArrival(_ sim.Time, qlenBytes, _ int) Verdict {
+	assertOccupancy(qlenBytes)
+	if invariant.Enabled {
+		invariant.Assert(p.K1 >= 0 && p.K2 >= 0,
+			"aqm: negative double-threshold K1=%d K2=%d", p.K1, p.K2)
+	}
 	if p.K1 > p.K2 {
 		// Hysteresis relay.
 		if p.marking {
@@ -105,6 +113,7 @@ func (p *DoubleThreshold) OnArrival(_ sim.Time, qlenBytes, _ int) Verdict {
 // OnDeparture implements Policy: departures update the relay state resp.
 // the trend estimator so a draining queue is tracked between arrivals.
 func (p *DoubleThreshold) OnDeparture(_ sim.Time, qlenBytes int) {
+	assertOccupancy(qlenBytes)
 	if p.K1 > p.K2 {
 		if p.marking && qlenBytes <= p.K2 {
 			p.marking = false

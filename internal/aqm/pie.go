@@ -56,6 +56,7 @@ func (p *PIE) Prob() float64 { return p.prob }
 
 // OnArrival implements Policy.
 func (p *PIE) OnArrival(now sim.Time, qlenBytes, _ int) Verdict {
+	assertOccupancy(qlenBytes)
 	p.maybeUpdate(now, qlenBytes)
 
 	qdelay := p.delay(qlenBytes)

@@ -41,6 +41,7 @@ func (p *RED) Name() string {
 
 // OnArrival implements Policy.
 func (p *RED) OnArrival(_ sim.Time, qlenBytes, _ int) Verdict {
+	assertOccupancy(qlenBytes)
 	w := p.Weight
 	if w <= 0 || w > 1 {
 		w = 0.002

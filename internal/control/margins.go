@@ -61,14 +61,14 @@ func StabilityMargins(p Plant, df DF) (Margins, error) {
 	// with ω in this plant).
 	const steps = 4000
 	ratio := math.Log(wMax / wMin)
-	gc := 0.0
+	gc, found := 0.0, false
 	for i := 0; i <= steps; i++ {
 		w := wMin * math.Exp(ratio*float64(i)/float64(steps))
 		if cmplx.Abs(complex(k0, 0)*p.Eval(w)) >= critical {
-			gc = w
+			gc, found = w, true
 		}
 	}
-	if gc == 0 {
+	if !found {
 		m.PhaseMargin = math.NaN()
 		return m, nil
 	}

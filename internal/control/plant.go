@@ -79,7 +79,9 @@ func (p Plant) PhaseCrossover(k0, wMin, wMax float64) (w float64, re float64, er
 	for i := 1; i <= steps; i++ {
 		cw := wMin * math.Exp(ratio*float64(i)/float64(steps))
 		z := complex(k0, 0) * p.Eval(cw)
-		if im := imag(z); prevIm != 0 && im != 0 && (prevIm < 0) != (im < 0) {
+		// The exact-zero tests deliberately exclude samples landing on
+		// the axis from the bracket: a sign test on ±0 is ambiguous.
+		if im := imag(z); prevIm != 0 && im != 0 && (prevIm < 0) != (im < 0) { //dtlint:allow floatcmp -- exact-zero screen for the sign-change bracket
 			// Bisect the bracket.
 			lo, hi := prevW, cw
 			for iter := 0; iter < 100; iter++ {

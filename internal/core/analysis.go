@@ -88,12 +88,14 @@ type MarkDecision struct {
 // ReplayMarker drives a queue-length trajectory (in packets) through a
 // fresh instance of the protocol's marker and records the per-arrival
 // marking decisions. It reproduces the paper's Fig. 2 comparison of the
-// two marking strategies on the same queue trajectory.
+// two marking strategies on the same queue trajectory. The replay is an
+// offline analysis with no engine, so randomized laws receive no source
+// and degrade to their deterministic behaviour.
 func ReplayMarker(p Protocol, trajectoryPkts []int) ([]MarkDecision, error) {
 	if p.NewPolicy == nil {
 		return nil, errors.New("core: protocol has no queue law")
 	}
-	pol := p.NewPolicy()
+	pol := p.NewPolicy(nil)
 	pktSize := p.PacketSize()
 	out := make([]MarkDecision, len(trajectoryPkts))
 	for i, q := range trajectoryPkts {

@@ -71,7 +71,7 @@ func RunBuildup(cfg BuildupConfig) (*BuildupResult, error) {
 	access := netsim.PortConfig{Rate: 10 * cfg.Rate, Delay: hop, Buffer: 4096 * pktSize}
 	bneckCfg := netsim.PortConfig{Rate: cfg.Rate, Delay: hop, Buffer: cfg.BufferPkts * pktSize}
 	if cfg.Protocol.NewPolicy != nil {
-		bneckCfg.Policy = cfg.Protocol.NewPolicy()
+		bneckCfg.Policy = cfg.Protocol.NewPolicy(engine.Rand())
 	}
 	if err := nw.Connect(rcv, sw, access, bneckCfg); err != nil {
 		return nil, err

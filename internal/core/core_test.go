@@ -441,7 +441,7 @@ func TestRenoPIEHoldsDelayTarget(t *testing.T) {
 	// PIE targeting 200 µs of queueing at 10 Gbps ≈ 167 packets: the
 	// mean queue must land well below the Reno/DropTail level (≈480
 	// pkts riding the 600-pkt buffer) and near the target.
-	p := RenoPIE(10*netsim.Gbps, 200*time.Microsecond, 1)
+	p := RenoPIE(10*netsim.Gbps, 200*time.Microsecond)
 	cfg := paperDumbbell(p, 20)
 	cfg.Duration = 100 * time.Millisecond
 	cfg.Warmup = 30 * time.Millisecond

@@ -130,7 +130,7 @@ func RunDumbbell(cfg DumbbellConfig) (*DumbbellResult, error) {
 		Buffer: cfg.BufferPkts * pktSize,
 	}
 	if policy != nil {
-		bneckCfg.Policy = policy()
+		bneckCfg.Policy = policy(engine.Rand())
 	}
 	if err := nw.Connect(rcv, sw, access, bneckCfg); err != nil {
 		return nil, err

@@ -25,8 +25,11 @@ type Protocol struct {
 	// TCP is the endpoint configuration.
 	TCP tcp.Config
 	// NewPolicy returns a fresh queue law for one bottleneck port; nil
-	// means DropTail.
-	NewPolicy func() aqm.Policy
+	// means DropTail. Runners pass the engine's seeded source so
+	// randomized laws (PIE, RED) stay a pure function of the run seed;
+	// deterministic laws ignore the argument, and offline contexts
+	// (ReplayMarker) may pass nil.
+	NewPolicy func(rng *rand.Rand) aqm.Policy
 
 	// K, K1, K2 record the marking thresholds in packets (K for
 	// single-threshold, K1/K2 for double) so analyses can mirror the
@@ -72,7 +75,7 @@ func DCTCP(kPackets int, g float64) Protocol {
 	return Protocol{
 		Name: fmt.Sprintf("dctcp(K=%d)", kPackets),
 		TCP:  cfg,
-		NewPolicy: func() aqm.Policy {
+		NewPolicy: func(*rand.Rand) aqm.Policy {
 			return aqm.NewSingleThresholdPackets(kPackets, pktSize)
 		},
 		K: kPackets,
@@ -88,7 +91,7 @@ func DTDCTCP(k1, k2 int, g float64) Protocol {
 	return Protocol{
 		Name: fmt.Sprintf("dt-dctcp(K1=%d,K2=%d)", k1, k2),
 		TCP:  cfg,
-		NewPolicy: func() aqm.Policy {
+		NewPolicy: func(*rand.Rand) aqm.Policy {
 			return aqm.NewDoubleThresholdPackets(k1, k2, pktSize)
 		},
 		K1: k1,
@@ -106,7 +109,7 @@ func D2TCPProto(kPackets int, g float64) Protocol {
 	return Protocol{
 		Name: fmt.Sprintf("d2tcp(K=%d)", kPackets),
 		TCP:  cfg,
-		NewPolicy: func() aqm.Policy {
+		NewPolicy: func(*rand.Rand) aqm.Policy {
 			return aqm.NewSingleThresholdPackets(kPackets, pktSize)
 		},
 		K: kPackets,
@@ -122,19 +125,21 @@ func Reno() Protocol {
 // RenoPIE returns NewReno endpoints with the RFC3168 ECN response over a
 // PIE queue (RFC 8033) draining at the given rate and targeting the given
 // queueing delay — the delay-targeting AQM contemporaneous with the paper,
-// included as an ablation baseline.
-func RenoPIE(drainRate netsim.Rate, target time.Duration, seed int64) Protocol {
+// included as an ablation baseline. PIE's randomized marking draws from
+// the source the runner injects (the engine's), so the run seed alone
+// reproduces it.
+func RenoPIE(drainRate netsim.Rate, target time.Duration) Protocol {
 	cfg := tcp.DefaultConfig(tcp.RenoECN)
 	return Protocol{
 		Name: fmt.Sprintf("reno-pie(target=%v)", target),
 		TCP:  cfg,
-		NewPolicy: func() aqm.Policy {
+		NewPolicy: func(rng *rand.Rand) aqm.Policy {
 			return &aqm.PIE{
 				Target:       target,
 				TUpdate:      target, // RFC suggests TUpdate ≈ target
 				DrainRateBps: drainRate.BytesPerSecond(),
 				ECN:          true,
-				Rand:         rand.New(rand.NewSource(seed)),
+				Rand:         rng,
 			}
 		},
 	}
@@ -148,7 +153,7 @@ func RenoCoDel(target, interval time.Duration) Protocol {
 	return Protocol{
 		Name: fmt.Sprintf("reno-codel(target=%v)", target),
 		TCP:  cfg,
-		NewPolicy: func() aqm.Policy {
+		NewPolicy: func(*rand.Rand) aqm.Policy {
 			return &aqm.CoDel{Target: target, Interval: interval, ECN: true}
 		},
 	}
@@ -169,7 +174,7 @@ func RenoECN(kPackets int) Protocol {
 	return Protocol{
 		Name: fmt.Sprintf("reno-ecn(K=%d)", kPackets),
 		TCP:  cfg,
-		NewPolicy: func() aqm.Policy {
+		NewPolicy: func(*rand.Rand) aqm.Policy {
 			return aqm.NewSingleThresholdPackets(kPackets, pktSize)
 		},
 		K: kPackets,

@@ -102,7 +102,7 @@ func buildTestbed(cfg TestbedConfig) (*testbed, error) {
 	edge := netsim.PortConfig{Rate: cfg.LinkRate, Delay: cfg.HopDelay, Buffer: cfg.EdgeBuffer}
 	bneckCfg := netsim.PortConfig{Rate: cfg.LinkRate, Delay: cfg.HopDelay, Buffer: cfg.BottleneckBuffer}
 	if cfg.Protocol.NewPolicy != nil {
-		bneckCfg.Policy = cfg.Protocol.NewPolicy()
+		bneckCfg.Policy = cfg.Protocol.NewPolicy(engine.Rand())
 	}
 	if err := nw.Connect(agg, core, edge, bneckCfg); err != nil {
 		return nil, err

@@ -1,0 +1,27 @@
+// Package invariant is the build-tag-gated runtime assertion layer of the
+// simulator's correctness tooling (the companion of the static dtlint
+// suite, cmd/dtlint).
+//
+// Production and benchmark builds compile the package to nothing: Enabled
+// is the constant false and Assert is an empty function, so guarded call
+// sites
+//
+//	if invariant.Enabled {
+//		invariant.Assert(qlen >= 0, "negative occupancy %d", qlen)
+//	}
+//
+// are eliminated entirely by the compiler. Verification builds enable the
+// checks with
+//
+//	go test -tags invariants ./internal/...
+//
+// and a violated invariant panics with the formatted message, pointing at
+// the event that corrupted state rather than at the place the corruption
+// was eventually observed.
+//
+// The simulator asserts, among others: event-time monotonicity in the
+// discrete-event heap (internal/sim), non-negative queue occupancy and
+// byte-count conservation at switch ports (internal/netsim,
+// internal/aqm), and DCTCP's congestion estimate α staying in [0, 1]
+// (internal/tcp).
+package invariant

@@ -1,0 +1,11 @@
+//go:build !invariants
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in. It is a
+// constant so disabled call sites guarded by `if invariant.Enabled` cost
+// nothing.
+const Enabled = false
+
+// Assert does nothing in builds without the invariants tag.
+func Assert(bool, string, ...any) {}

@@ -1,0 +1,21 @@
+package invariant
+
+import "testing"
+
+// TestAssert exercises both build flavours: with -tags invariants a false
+// condition must panic and a true one must not; without the tag Assert is
+// a no-op either way.
+func TestAssert(t *testing.T) {
+	Assert(true, "true condition must never fire")
+
+	defer func() {
+		r := recover()
+		if Enabled && r == nil {
+			t.Fatal("Assert(false) did not panic with invariants enabled")
+		}
+		if !Enabled && r != nil {
+			t.Fatalf("Assert(false) panicked with invariants disabled: %v", r)
+		}
+	}()
+	Assert(false, "deliberate violation %d", 42)
+}

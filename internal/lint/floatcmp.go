@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point operands in the numeric
+// analysis packages, where values come out of iterative solvers and
+// transcendental functions and exact equality is almost never the intended
+// predicate. Compare against a tolerance (math.Abs(a-b) <= eps), or
+// annotate with //dtlint:allow floatcmp when bit-exactness is genuinely
+// meant (e.g. comparing against a sentinel that is assigned, never
+// computed). The x != x NaN idiom is recognized and allowed.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag exact float equality in the numeric analysis packages",
+	Applies: appliesTo(
+		"dtdctcp/internal/control",
+		"dtdctcp/internal/fluid",
+	),
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo.TypeOf(be.X)) || !isFloat(pass.TypesInfo.TypeOf(be.Y)) {
+				return true
+			}
+			// x != x is the deliberate NaN test; leave it alone.
+			if be.Op == token.NEQ && sameIdent(be.X, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"exact %s on floating-point values; compare with a tolerance or annotate why bit-exactness is intended", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func sameIdent(x, y ast.Expr) bool {
+	xi, okx := x.(*ast.Ident)
+	yi, oky := y.(*ast.Ident)
+	return okx && oky && xi.Name == yi.Name
+}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted regexps of a `// want "..." "..."` comment.
+var wantRe = regexp.MustCompile(`"([^"]*)"`)
+
+// runFixture type-checks one testdata file under the given import path,
+// runs the analyzer, and compares the diagnostics against the fixture's
+// `// want` comments: every diagnostic must match a want on its line and
+// every want must be consumed, in the style of analysistest.
+func runFixture(t *testing.T, a *Analyzer, file, importPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	path := filepath.Join("testdata", file)
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(importPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check %s: %v", path, err)
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        "testdata",
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	if a.Applies != nil && !a.Applies(importPath) {
+		t.Fatalf("analyzer %s does not apply to fixture path %s", a.Name, importPath)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, f)
+	for _, d := range diags {
+		if !consumeWant(wants, d.Pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", file, d)
+		}
+	}
+	for line, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q did not fire", file, line, re)
+		}
+	}
+}
+
+// collectWants maps line → pending want regexps.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) map[int][]string {
+	t.Helper()
+	wants := make(map[int][]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(body, "want ")
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+				if _, err := regexp.Compile(m[1]); err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				wants[line] = append(wants[line], m[1])
+			}
+		}
+	}
+	return wants
+}
+
+func consumeWant(wants map[int][]string, line int, message string) bool {
+	for i, re := range wants[line] {
+		if regexp.MustCompile(re).MatchString(message) {
+			wants[line] = append(wants[line][:i], wants[line][i+1:]...)
+			if len(wants[line]) == 0 {
+				delete(wants, line)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func TestNonDetermFixture(t *testing.T) {
+	runFixture(t, NonDeterm, "nondeterm.go", "dtdctcp/internal/sim/fixture")
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	runFixture(t, MapOrder, "maporder.go", "dtdctcp/internal/netsim/fixture")
+}
+
+func TestFloatCmpFixture(t *testing.T) {
+	runFixture(t, FloatCmp, "floatcmp.go", "dtdctcp/internal/control/fixture")
+}
+
+func TestSimTimeFixture(t *testing.T) {
+	runFixture(t, SimTime, "simtime.go", "dtdctcp/internal/lint/fixture")
+}
+
+// TestScoping pins each analyzer's package filter: the suite must bite in
+// the simulator packages and stay out of the ones where the flagged
+// patterns are legitimate.
+func TestScoping(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		path     string
+		want     bool
+	}{
+		{NonDeterm, "dtdctcp/internal/sim", true},
+		{NonDeterm, "dtdctcp/internal/tcp", true},
+		{NonDeterm, "dtdctcp/internal/stats", false},
+		{NonDeterm, "dtdctcp/internal/lint", false},
+		{MapOrder, "dtdctcp/internal/netsim", true},
+		{MapOrder, "dtdctcp/internal/workload", true},
+		{MapOrder, "dtdctcp/internal/fluid", false},
+		{FloatCmp, "dtdctcp/internal/control", true},
+		{FloatCmp, "dtdctcp/internal/fluid", true},
+		{FloatCmp, "dtdctcp/internal/netsim", false},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.Applies(c.path); got != c.want {
+			t.Errorf("%s.Applies(%q) = %v, want %v", c.analyzer.Name, c.path, got, c.want)
+		}
+	}
+	if SimTime.Applies != nil {
+		t.Error("simtime must apply everywhere sim.Time flows; expected nil Applies")
+	}
+}
+
+// TestAllowIndex pins the annotation grammar: names before the "--"
+// justification, same-line and line-above coverage, multiple names.
+func TestAllowIndex(t *testing.T) {
+	src := `package p
+
+//dtlint:allow alpha,beta -- two analyzers at once
+var a int
+
+var b int //dtlint:allow gamma -- same line
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := buildAllowIndex(fset, []*ast.File{f})
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{3, "alpha", true},  // annotation's own line
+		{4, "alpha", true},  // line below
+		{4, "beta", true},   // second name of the list
+		{5, "alpha", false}, // two lines below: out of range
+		{6, "gamma", true},  // same-line placement
+		{4, "gamma", false},
+		{3, "delta", false}, // unknown analyzer name
+	}
+	for _, c := range cases {
+		pos := token.Position{Filename: "p.go", Line: c.line}
+		if got := idx.allows(pos, c.analyzer); got != c.want {
+			t.Errorf("allows(line %d, %q) = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+}
+
+// TestDiagnosticString pins the file:line:col output format CI logs rely
+// on.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Analyzer: "nondeterm",
+		Message:  "bad",
+	}
+	if got, want := d.String(), "x.go:3:7: bad (nondeterm)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	_ = fmt.Sprintf("%s", d) // Stringer must satisfy fmt
+}

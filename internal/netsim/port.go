@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"dtdctcp/internal/aqm"
+	"dtdctcp/internal/invariant"
 	"dtdctcp/internal/sim"
 )
 
@@ -164,6 +165,7 @@ func (p *Port) Send(pkt *Packet) {
 	p.queue = append(p.queue, pkt)
 	p.queueLen += pkt.Size
 	p.stats.Enqueued++
+	p.checkConservation()
 	if p.tracer != nil {
 		p.tracer.PacketEnqueued(p.engine.Now(), pkt, p.queueLen, marked)
 	}
@@ -186,6 +188,7 @@ func (p *Port) transmitNext() {
 		p.queue[len(p.queue)-1] = nil
 		p.queue = p.queue[:len(p.queue)-1]
 		p.queueLen -= pkt.Size
+		p.checkConservation()
 
 		// Dequeue-time queue laws (CoDel) may drop or mark here.
 		dq, ok := p.policy.(aqm.DequeuePolicy)
@@ -247,4 +250,24 @@ func (p *Port) notifyMonitor() {
 	if p.monitor != nil {
 		p.monitor.QueueChanged(p.engine.Now(), p.queueLen)
 	}
+}
+
+// checkConservation asserts, under -tags invariants, that the byte counter
+// the AQM policies see agrees with the packets actually queued and stays
+// inside the physical buffer. The O(len(queue)) walk only exists in
+// invariants builds.
+func (p *Port) checkConservation() {
+	if !invariant.Enabled {
+		return
+	}
+	invariant.Assert(p.queueLen >= 0, "netsim: negative queue occupancy %d on port to %s",
+		p.queueLen, p.peer.Name())
+	invariant.Assert(p.queueLen <= p.buffer, "netsim: occupancy %d exceeds buffer %d on port to %s",
+		p.queueLen, p.buffer, p.peer.Name())
+	sum := 0
+	for _, q := range p.queue {
+		sum += q.Size
+	}
+	invariant.Assert(sum == p.queueLen, "netsim: byte-count drift: queued packets hold %d bytes, counter says %d",
+		sum, p.queueLen)
 }

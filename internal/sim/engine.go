@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"dtdctcp/internal/invariant"
 )
 
 // ErrStopped is returned by Run variants when the engine was stopped
@@ -31,7 +33,10 @@ type Engine struct {
 // NewEngine creates an engine whose random source is seeded with seed.
 // The same seed always produces the same run.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	// The engine is the single sanctioned root of randomness: every other
+	// construction site must draw from Engine.Rand() or an injected
+	// *rand.Rand so one seed governs the whole run.
+	return &Engine{rng: rand.New(rand.NewSource(seed))} //dtlint:allow nondeterm -- the one seeded root source
 }
 
 // Now returns the current virtual time.
@@ -103,6 +108,10 @@ func (e *Engine) run(keep func(*Event) bool) error {
 		e.queue.pop()
 		if next.cancelled {
 			continue
+		}
+		if invariant.Enabled {
+			invariant.Assert(next.At >= e.now,
+				"sim: event time moved backwards: now=%v next=%v", e.now, next.At)
 		}
 		e.now = next.At
 		e.processed++

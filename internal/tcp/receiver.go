@@ -141,6 +141,7 @@ func (r *Receiver) Deliver(pkt *netsim.Packet) {
 		// rcvNxt, taking the max end so two straddling ranges cannot
 		// shrink each other (map iteration order is unspecified).
 		changed := false
+		//dtlint:allow maporder -- every path keeps the max end per key, so the fixpoint is order-insensitive
 		for s, e := range r.ooo {
 			if e <= r.rcvNxt {
 				delete(r.ooo, s)

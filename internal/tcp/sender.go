@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"dtdctcp/internal/invariant"
 	"dtdctcp/internal/netsim"
 	"dtdctcp/internal/sim"
 )
@@ -443,6 +444,12 @@ func (s *Sender) updateAlphaWindow() {
 		frac := float64(s.markedBytes) / float64(s.ackedBytes)
 		s.alpha = (1-s.cfg.G)*s.alpha + s.cfg.G*frac
 		s.stats.AlphaUpdates++
+		if invariant.Enabled {
+			invariant.Assert(s.alpha >= 0 && s.alpha <= 1,
+				"tcp: alpha %g outside [0,1] (frac=%g g=%g)", s.alpha, frac, s.cfg.G)
+			invariant.Assert(s.markedBytes <= s.ackedBytes,
+				"tcp: marked bytes %d exceed acked bytes %d", s.markedBytes, s.ackedBytes)
+		}
 		if s.markedBytes > 0 {
 			// cwnd ← cwnd·(1 − p/2), floored to a whole segment
 			// count and bounded below by one segment, matching the
