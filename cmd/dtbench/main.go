@@ -1,0 +1,370 @@
+// Command dtbench measures the simulator's hot paths and writes the
+// numbers as machine-readable JSON, so performance regressions show up as
+// diffs instead of anecdotes.
+//
+// It replays the repo's own benchmarks through testing.Benchmark — the
+// event kernel (schedule/run, self-scheduling chains, timer rearm), the
+// netsim forwarding path, a full dumbbell run with allocations-per-event
+// accounting, and a sweep-scaling probe that times the same sweep at
+// workers=1 and workers=GOMAXPROCS.
+//
+// Usage:
+//
+//	dtbench                        # print the snapshot to stdout
+//	dtbench -o BENCH_baseline.json # merge into a baseline file: the
+//	                               # previous Current moves to History
+//	dtbench -label after-pool      # tag the snapshot
+//	dtbench -quick                 # smaller dumbbell/sweep (CI smoke)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dtdctcp"
+	"dtdctcp/internal/aqm"
+	"dtdctcp/internal/netsim"
+	"dtdctcp/internal/sim"
+)
+
+// Metric is one benchmark result.
+type Metric struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// EventsPerSec is derived for kernel benchmarks where one op is one
+	// event (zero elsewhere).
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// DumbbellMetric profiles one full experiment run.
+type DumbbellMetric struct {
+	Flows          int     `json:"flows"`
+	SimMillis      int64   `json:"sim_millis"`
+	Events         uint64  `json:"events"`
+	WallMillis     float64 `json:"wall_millis"`
+	Mallocs        uint64  `json:"mallocs"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+}
+
+// SweepMetric times one sweep serially and in parallel.
+type SweepMetric struct {
+	Points         int     `json:"points"`
+	Workers        int     `json:"workers"`
+	SerialMillis   float64 `json:"serial_millis"`
+	ParallelMillis float64 `json:"parallel_millis"`
+	Speedup        float64 `json:"speedup"`
+	// PerCoreEfficiency is Speedup ÷ min(Workers, NumCPU): 1.0 means the
+	// extra cores were fully converted into throughput.
+	PerCoreEfficiency float64 `json:"per_core_efficiency"`
+}
+
+// Snapshot is one complete dtbench run.
+type Snapshot struct {
+	Label      string          `json:"label"`
+	Timestamp  string          `json:"timestamp"`
+	GoVersion  string          `json:"go_version"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Metrics    []Metric        `json:"metrics"`
+	Dumbbell   *DumbbellMetric `json:"dumbbell,omitempty"`
+	Sweep      *SweepMetric    `json:"sweep,omitempty"`
+}
+
+// File is the on-disk layout: the latest snapshot plus every snapshot it
+// replaced, oldest first, so the performance trajectory stays in-repo.
+type File struct {
+	Schema  string     `json:"schema"`
+	Current *Snapshot  `json:"current"`
+	History []Snapshot `json:"history,omitempty"`
+}
+
+const schema = "dtbench/v1"
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dtbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dtbench", flag.ContinueOnError)
+	var (
+		out   = fs.String("o", "", "merge the snapshot into this JSON file (previous current moves to history)")
+		label = fs.String("label", "", "snapshot label (default: timestamp)")
+		quick = fs.Bool("quick", false, "smaller dumbbell and sweep for a fast smoke pass")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	snap := measure(*quick)
+	snap.Label = *label
+	if snap.Label == "" {
+		snap.Label = snap.Timestamp
+	}
+
+	if *out == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap)
+	}
+	return merge(*out, snap)
+}
+
+// merge writes snap as the file's Current, demoting any previous Current
+// to the end of History.
+func merge(path string, snap *Snapshot) error {
+	var f File
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		if f.Current != nil {
+			f.History = append(f.History, *f.Current)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	f.Schema = schema
+	f.Current = snap
+	raw, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func measure(quick bool) *Snapshot {
+	snap := &Snapshot{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	kernel := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"sim/ScheduleRun", benchScheduleRun},
+		{"sim/EventChain", benchEventChain},
+		{"sim/TimerReset", benchTimerReset},
+		{"netsim/ForwardDropTail", benchForwardDropTail},
+	}
+	for _, k := range kernel {
+		r := testing.Benchmark(k.fn)
+		m := Metric{
+			Name:        k.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if m.NsPerOp > 0 {
+			m.EventsPerSec = 1e9 / m.NsPerOp
+		}
+		snap.Metrics = append(snap.Metrics, m)
+	}
+	snap.Dumbbell = measureDumbbell(quick)
+	snap.Sweep = measureSweep(quick)
+	return snap
+}
+
+// --- kernel benchmarks (mirrors of the _test.go benchmarks, which a
+// command cannot import) ---
+
+func benchScheduleRun(b *testing.B) {
+	e := sim.NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+sim.Time(i%64), func() {})
+		if i%1024 == 1023 {
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchEventChain(b *testing.B) {
+	e := sim.NewEngine(1)
+	remaining := b.N
+	var step func()
+	step = func() {
+		remaining--
+		if remaining > 0 {
+			e.After(time.Microsecond, step)
+		}
+	}
+	b.ReportAllocs()
+	e.After(time.Microsecond, step)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchTimerReset(b *testing.B) {
+	e := sim.NewEngine(1)
+	tm := sim.NewTimer(e, func() {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(time.Millisecond)
+		if i%4096 == 4095 {
+			if err := e.RunUntil(e.Now()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	tm.Stop()
+}
+
+type benchSink struct{ n int }
+
+func (s *benchSink) Deliver(*netsim.Packet) { s.n++ }
+
+func benchForwardDropTail(b *testing.B) {
+	e := sim.NewEngine(1)
+	n := netsim.NewNetwork(e)
+	src := n.AddHost("src")
+	dst := n.AddHost("dst")
+	sw := n.AddSwitch("sw")
+	cfg := netsim.PortConfig{Rate: 100 * netsim.Gbps, Delay: time.Microsecond, Buffer: 1 << 24, Policy: aqm.NewDropTail()}
+	if err := n.Connect(src, sw, cfg, cfg); err != nil {
+		b.Fatal(err)
+	}
+	if err := n.Connect(dst, sw, cfg, cfg); err != nil {
+		b.Fatal(err)
+	}
+	if err := n.ComputeRoutes(); err != nil {
+		b.Fatal(err)
+	}
+	sink := &benchSink{}
+	dst.Register(1, sink)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := n.AllocPacket()
+		pkt.Flow = 1
+		pkt.Dst = dst.ID()
+		pkt.Size = 1500
+		pkt.ECT = true
+		src.Send(pkt)
+		if i%256 == 255 {
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if sink.n == 0 {
+		b.Fatal("nothing delivered")
+	}
+}
+
+// measureDumbbell runs one paper-scale dumbbell and reports the malloc
+// count per simulated event.
+func measureDumbbell(quick bool) *DumbbellMetric {
+	cfg := dtdctcp.DumbbellConfig{
+		Protocol:   dtdctcp.DCTCP(40, 1.0/16),
+		Flows:      40,
+		Rate:       10 * dtdctcp.Gbps,
+		RTT:        100 * time.Microsecond,
+		BufferPkts: 600,
+		Duration:   40 * time.Millisecond,
+		Warmup:     10 * time.Millisecond,
+		Seed:       1,
+	}
+	if quick {
+		cfg.Flows = 10
+		cfg.Duration = 10 * time.Millisecond
+		cfg.Warmup = 2 * time.Millisecond
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := dtdctcp.RunDumbbell(cfg)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		// Benchmarks must not mask simulator breakage.
+		panic(err)
+	}
+	m := &DumbbellMetric{
+		Flows:      cfg.Flows,
+		SimMillis:  (cfg.Duration + cfg.Warmup).Milliseconds(),
+		Events:     res.Events,
+		WallMillis: float64(wall.Microseconds()) / 1e3,
+		Mallocs:    after.Mallocs - before.Mallocs,
+	}
+	if res.Events > 0 {
+		m.AllocsPerEvent = float64(m.Mallocs) / float64(res.Events)
+		m.EventsPerSec = float64(res.Events) / wall.Seconds()
+	}
+	return m
+}
+
+// measureSweep times the same flow sweep at workers=1 and
+// workers=GOMAXPROCS and reports the per-core scaling efficiency.
+func measureSweep(quick bool) *SweepMetric {
+	base := dtdctcp.DumbbellConfig{
+		Protocol:   dtdctcp.DCTCP(40, 1.0/16),
+		Rate:       10 * dtdctcp.Gbps,
+		RTT:        100 * time.Microsecond,
+		BufferPkts: 600,
+		Duration:   20 * time.Millisecond,
+		Warmup:     5 * time.Millisecond,
+		Seed:       1,
+	}
+	flows := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120}
+	if quick {
+		base.Duration = 5 * time.Millisecond
+		base.Warmup = time.Millisecond
+		flows = flows[:4]
+	}
+	workers := runtime.GOMAXPROCS(0)
+	ctx := context.Background()
+
+	start := time.Now()
+	if _, err := dtdctcp.SweepFlowsParallel(ctx, base, flows, 1); err != nil {
+		panic(err)
+	}
+	serial := time.Since(start)
+
+	start = time.Now()
+	if _, err := dtdctcp.SweepFlowsParallel(ctx, base, flows, workers); err != nil {
+		panic(err)
+	}
+	parallel := time.Since(start)
+
+	m := &SweepMetric{
+		Points:         len(flows),
+		Workers:        workers,
+		SerialMillis:   float64(serial.Microseconds()) / 1e3,
+		ParallelMillis: float64(parallel.Microseconds()) / 1e3,
+	}
+	if parallel > 0 {
+		m.Speedup = serial.Seconds() / parallel.Seconds()
+	}
+	cores := workers
+	if n := runtime.NumCPU(); n < cores {
+		cores = n
+	}
+	if cores > 0 {
+		m.PerCoreEfficiency = m.Speedup / float64(cores)
+	}
+	return m
+}

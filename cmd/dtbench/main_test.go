@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readFile(t *testing.T, path string) File {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestMergeDemotesCurrentToHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+
+	if err := merge(path, &Snapshot{Label: "first"}); err != nil {
+		t.Fatal(err)
+	}
+	f := readFile(t, path)
+	if f.Schema != schema || f.Current.Label != "first" || len(f.History) != 0 {
+		t.Fatalf("after first merge: %+v", f)
+	}
+
+	if err := merge(path, &Snapshot{Label: "second"}); err != nil {
+		t.Fatal(err)
+	}
+	f = readFile(t, path)
+	if f.Current.Label != "second" {
+		t.Fatalf("current = %q, want second", f.Current.Label)
+	}
+	if len(f.History) != 1 || f.History[0].Label != "first" {
+		t.Fatalf("history = %+v, want [first]", f.History)
+	}
+
+	if err := merge(path, &Snapshot{Label: "third"}); err != nil {
+		t.Fatal(err)
+	}
+	f = readFile(t, path)
+	if len(f.History) != 2 || f.History[0].Label != "first" || f.History[1].Label != "second" {
+		t.Fatalf("history = %+v, want [first second] oldest-first", f.History)
+	}
+}
+
+func TestMergeRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := merge(path, &Snapshot{Label: "x"}); err == nil {
+		t.Fatal("corrupt baseline accepted")
+	}
+}
+
+func TestCommittedBaselineParses(t *testing.T) {
+	// The repo's committed baseline must stay parseable and meet the
+	// optimization floor this PR establishes: the steady-state event
+	// kernel allocates nothing, and the dumbbell path allocates at least
+	// 30% less per event than the pre-optimization seed in history.
+	raw, err := os.ReadFile("../../BENCH_baseline.json")
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != schema || f.Current == nil {
+		t.Fatalf("baseline malformed: schema=%q current=%v", f.Schema, f.Current)
+	}
+	for _, m := range f.Current.Metrics {
+		if m.AllocsPerOp != 0 {
+			t.Errorf("%s allocates %d/op in the committed baseline, want 0", m.Name, m.AllocsPerOp)
+		}
+	}
+	if len(f.History) == 0 || f.Current.Dumbbell == nil || f.History[0].Dumbbell == nil {
+		t.Fatal("baseline missing pre-optimization history entry")
+	}
+	seed := f.History[0].Dumbbell.AllocsPerEvent
+	cur := f.Current.Dumbbell.AllocsPerEvent
+	if seed <= 0 || cur > 0.7*seed {
+		t.Errorf("allocs/event %.4f vs seed %.4f: want ≥30%% reduction", cur, seed)
+	}
+}

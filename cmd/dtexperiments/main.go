@@ -10,15 +10,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"dtdctcp"
+	"dtdctcp/internal/runner"
 	"dtdctcp/internal/stats"
 )
 
@@ -34,13 +37,15 @@ type settings struct {
 	warmup   time.Duration
 	rounds   int
 	seeds    int
+	workers  int
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dtexperiments", flag.ContinueOnError)
 	var (
-		figs  = fs.String("fig", "1,2,6,9,10,11,12,14,15", "comma-separated figure ids to run (extensions: aqm, d2, buildup)")
-		short = fs.Bool("short", false, "reduced durations for a quick pass")
+		figs    = fs.String("fig", "1,2,6,9,10,11,12,14,15", "comma-separated figure ids to run (extensions: aqm, d2, buildup)")
+		short   = fs.Bool("short", false, "reduced durations for a quick pass")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent sweep points (results are identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +54,10 @@ func run(args []string, out io.Writer) error {
 	s := settings{duration: 200 * time.Millisecond, warmup: 40 * time.Millisecond, rounds: 20, seeds: 3}
 	if *short {
 		s = settings{duration: 40 * time.Millisecond, warmup: 10 * time.Millisecond, rounds: 5, seeds: 1}
+	}
+	s.workers = *workers
+	if s.workers < 1 {
+		s.workers = 1
 	}
 
 	runners := map[string]func(settings, io.Writer) error{
@@ -250,13 +259,13 @@ func figSweep(s settings, out io.Writer) error {
 	}
 	baseDC := base
 	baseDC.Protocol = dtdctcp.DCTCP(40, 1.0/16)
-	dc, err := dtdctcp.SweepFlows(baseDC, flows)
+	dc, err := dtdctcp.SweepFlowsParallel(context.Background(), baseDC, flows, s.workers)
 	if err != nil {
 		return err
 	}
 	baseDT := base
 	baseDT.Protocol = dtdctcp.DTDCTCP(30, 50, 1.0/16)
-	dt, err := dtdctcp.SweepFlows(baseDT, flows)
+	dt, err := dtdctcp.SweepFlowsParallel(context.Background(), baseDT, flows, s.workers)
 	if err != nil {
 		return err
 	}
@@ -279,24 +288,36 @@ func fig14(s settings, out io.Writer) error {
 	header(out, "Fig. 14 — incast: 64 KB/worker, 1 Gbps testbed, 128 KB buffer (DCTCP K=21; DT-DCTCP K1=16/K2=26)")
 	fmt.Fprintln(out, "   n | DCTCP goodput  timeouts | DT-DCTCP goodput  timeouts")
 	workers := []int{8, 16, 24, 32, 40, 48, 56, 64, 72}
+	type incastRow struct {
+		gdc, gdt float64
+		tdc, tdt uint64
+	}
+	// Each point simulates both protocols in its own engines; the rows
+	// come back in input order regardless of the worker count.
+	rows, err := runner.Map(context.Background(), len(workers), runner.Options{Workers: s.workers},
+		func(_ context.Context, i int) (incastRow, error) {
+			var r incastRow
+			var err error
+			if r.gdc, r.tdc, err = incastPoint(dtdctcp.DCTCP(21, 1.0/16), workers[i], s); err != nil {
+				return r, err
+			}
+			r.gdt, r.tdt, err = incastPoint(dtdctcp.DTDCTCP(16, 26, 1.0/16), workers[i], s)
+			return r, err
+		})
+	if err != nil {
+		return err
+	}
 	collapseDC, collapseDT := -1, -1
-	for _, n := range workers {
-		gdc, tdc, err := incastPoint(dtdctcp.DCTCP(21, 1.0/16), n, s)
-		if err != nil {
-			return err
-		}
-		gdt, tdt, err := incastPoint(dtdctcp.DTDCTCP(16, 26, 1.0/16), n, s)
-		if err != nil {
-			return err
-		}
-		if collapseDC < 0 && gdc < 0.5e9 {
+	for i, r := range rows {
+		n := workers[i]
+		if collapseDC < 0 && r.gdc < 0.5e9 {
 			collapseDC = n
 		}
-		if collapseDT < 0 && gdt < 0.5e9 {
+		if collapseDT < 0 && r.gdt < 0.5e9 {
 			collapseDT = n
 		}
 		fmt.Fprintf(out, " %3d |  %7.1f Mbps  %8d |   %7.1f Mbps  %8d\n",
-			n, gdc/1e6, tdc, gdt/1e6, tdt)
+			n, r.gdc/1e6, r.tdc, r.gdt/1e6, r.tdt)
 	}
 	fmt.Fprintf(out, "\ncollapse onset (goodput < 500 Mbps): DCTCP n=%s, DT-DCTCP n=%s (paper: 32 and 37)\n",
 		onset(collapseDC), onset(collapseDT))
@@ -328,19 +349,26 @@ func incastPoint(p dtdctcp.Protocol, n int, s settings) (goodput float64, timeou
 func fig15(s settings, out io.Writer) error {
 	header(out, "Fig. 15 — completion time: 1 MB split n ways (floor ≈ 10 ms at 1 Gbps)")
 	fmt.Fprintln(out, "   n | DCTCP   mean      p95      max | DT-DCTCP mean      p95      max")
-	for _, n := range []int{8, 16, 24, 32, 40, 48, 56, 64} {
-		rdc, err := completionPoint(dtdctcp.DCTCP(21, 1.0/16), n, s)
-		if err != nil {
-			return err
-		}
-		rdt, err := completionPoint(dtdctcp.DTDCTCP(16, 26, 1.0/16), n, s)
-		if err != nil {
-			return err
-		}
+	counts := []int{8, 16, 24, 32, 40, 48, 56, 64}
+	type completionRow struct{ dc, dt *dtdctcp.QueryResult }
+	rows, err := runner.Map(context.Background(), len(counts), runner.Options{Workers: s.workers},
+		func(_ context.Context, i int) (completionRow, error) {
+			var r completionRow
+			var err error
+			if r.dc, err = completionPoint(dtdctcp.DCTCP(21, 1.0/16), counts[i], s); err != nil {
+				return r, err
+			}
+			r.dt, err = completionPoint(dtdctcp.DTDCTCP(16, 26, 1.0/16), counts[i], s)
+			return r, err
+		})
+	if err != nil {
+		return err
+	}
+	for i, r := range rows {
 		fmt.Fprintf(out, " %3d |  %8.1f %8.1f %8.1f |  %8.1f %8.1f %8.1f   (ms)\n",
-			n,
-			ms(rdc.MeanCompletion), ms(rdc.P95Completion), ms(rdc.MaxCompletion),
-			ms(rdt.MeanCompletion), ms(rdt.P95Completion), ms(rdt.MaxCompletion))
+			counts[i],
+			ms(r.dc.MeanCompletion), ms(r.dc.P95Completion), ms(r.dc.MaxCompletion),
+			ms(r.dt.MeanCompletion), ms(r.dt.P95Completion), ms(r.dt.MaxCompletion))
 	}
 	fmt.Fprintln(out, "\npaper: completion ≈10 ms until Incast; DCTCP oscillates from n=34 and spikes ≈20× at 40; DT-DCTCP climbs smoothly and spikes at 42")
 	return nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"testing"
 )
@@ -31,6 +32,26 @@ func TestRunUnknownFigure(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-zap"}, io.Discard); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestWorkersFlagDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	// The figure tables must be byte-identical regardless of -workers:
+	// every sweep point owns a private engine and rows are emitted in
+	// input order.
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"-short", "-workers", "1", "-fig", "10"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-short", "-workers", "8", "-fig", "10"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("-workers=1 and -workers=8 produced different tables:\n--- workers=1\n%s\n--- workers=8\n%s",
+			serial.String(), parallel.String())
 	}
 }
 

@@ -28,6 +28,7 @@
 package dtdctcp
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -84,8 +85,17 @@ type FlowSweepPoint = core.FlowSweepPoint
 func RunDumbbell(cfg DumbbellConfig) (*DumbbellResult, error) { return core.RunDumbbell(cfg) }
 
 // SweepFlows runs the dumbbell at each flow count, as in Figs. 10–12.
+// Points run serially; SweepFlowsParallel spreads them over goroutines.
 func SweepFlows(base DumbbellConfig, flows []int) ([]FlowSweepPoint, error) {
 	return core.SweepFlows(base, flows)
+}
+
+// SweepFlowsParallel runs the sweep points concurrently on up to workers
+// goroutines (values < 1 mean GOMAXPROCS). Every point owns a private
+// engine seeded by base.Seed alone, so the output is byte-identical for
+// any worker count and is returned in the order of flows.
+func SweepFlowsParallel(ctx context.Context, base DumbbellConfig, flows []int, workers int) ([]FlowSweepPoint, error) {
+	return core.SweepFlowsParallel(ctx, base, flows, workers)
 }
 
 // TestbedConfig describes the paper's four-switch NetFPGA testbed
@@ -122,10 +132,20 @@ func RunCompletionTime(cfg TestbedConfig, rounds int) (*QueryResult, error) {
 }
 
 // SweepWorkers repeats a query experiment across worker counts, as in
-// Figs. 14–15.
+// Figs. 14–15. Points run serially; SweepWorkersParallel spreads them
+// over goroutines.
 func SweepWorkers(base TestbedConfig, workers []int, rounds int,
 	run func(TestbedConfig, int) (*QueryResult, error)) ([]WorkerSweepPoint, error) {
 	return core.SweepWorkers(base, workers, rounds, run)
+}
+
+// SweepWorkersParallel repeats a query experiment across worker counts on
+// up to par goroutines, with the same determinism guarantee as
+// SweepFlowsParallel: each point owns a private engine, so results do not
+// depend on par.
+func SweepWorkersParallel(ctx context.Context, base TestbedConfig, workers []int, rounds, par int,
+	run func(TestbedConfig, int) (*QueryResult, error)) ([]WorkerSweepPoint, error) {
+	return core.SweepWorkersParallel(ctx, base, workers, rounds, par, run)
 }
 
 // AnalysisParams carries the network parameters of the stability and

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"time"
 
 	"dtdctcp/internal/netsim"
+	"dtdctcp/internal/runner"
 	"dtdctcp/internal/sim"
 	"dtdctcp/internal/stats"
 	"dtdctcp/internal/trace"
@@ -103,6 +105,9 @@ type DumbbellResult struct {
 	Fairness float64
 	// PerFlowAcked lists each flow's acknowledged bytes.
 	PerFlowAcked []int64
+	// Events is the number of simulator events processed, for
+	// events-per-second throughput accounting in benchmarks.
+	Events uint64
 }
 
 // RunDumbbell executes the scenario to completion and aggregates results.
@@ -215,6 +220,7 @@ func RunDumbbell(cfg DumbbellConfig) (*DumbbellResult, error) {
 		Marks:         bneck.Stats().Marked,
 		Drops:         bneck.Stats().DroppedOverflow,
 		Timeouts:      flows.Timeouts(),
+		Events:        engine.Stats().Processed,
 	}
 	acked := make([]float64, len(flows.Senders))
 	for i, snd := range flows.Senders {
@@ -257,17 +263,31 @@ type FlowSweepPoint struct {
 }
 
 // SweepFlows runs the dumbbell at each flow count in flows, reusing every
-// other parameter of base.
+// other parameter of base. Points run serially; use SweepFlowsParallel to
+// spread them over worker goroutines.
 func SweepFlows(base DumbbellConfig, flows []int) ([]FlowSweepPoint, error) {
-	out := make([]FlowSweepPoint, 0, len(flows))
-	for _, n := range flows {
-		cfg := base
-		cfg.Flows = n
-		res, err := RunDumbbell(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("sweep N=%d: %w", n, err)
-		}
-		out = append(out, FlowSweepPoint{Flows: n, Result: res})
+	return SweepFlowsParallel(context.Background(), base, flows, 1)
+}
+
+// SweepFlowsParallel runs the sweep points concurrently on up to workers
+// goroutines (values < 1 mean GOMAXPROCS). Every point builds a private
+// engine seeded only by base.Seed, so results are byte-identical for any
+// worker count; they are returned in the order of flows.
+//
+// A per-packet trace interleaves points nondeterministically when written
+// from concurrent runs, so a non-nil base.TraceTo forces workers to 1.
+func SweepFlowsParallel(ctx context.Context, base DumbbellConfig, flows []int, workers int) ([]FlowSweepPoint, error) {
+	if base.TraceTo != nil {
+		workers = 1
 	}
-	return out, nil
+	return runner.Map(ctx, len(flows), runner.Options{Workers: workers},
+		func(_ context.Context, i int) (FlowSweepPoint, error) {
+			cfg := base
+			cfg.Flows = flows[i]
+			res, err := RunDumbbell(cfg)
+			if err != nil {
+				return FlowSweepPoint{}, fmt.Errorf("sweep N=%d: %w", flows[i], err)
+			}
+			return FlowSweepPoint{Flows: flows[i], Result: res}, nil
+		})
 }

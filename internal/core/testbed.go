@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"dtdctcp/internal/netsim"
+	"dtdctcp/internal/runner"
 	"dtdctcp/internal/sim"
 	"dtdctcp/internal/stats"
 	"dtdctcp/internal/workload"
@@ -180,7 +182,7 @@ func RunQuery(cfg TestbedConfig, bytesPerWorker int64, rounds int) (*QueryResult
 	if err != nil {
 		return nil, err
 	}
-	runner := workload.StartQueries(tb.engine, workload.QueryConfig{
+	queries := workload.StartQueries(tb.engine, workload.QueryConfig{
 		Workers:        tb.workers,
 		Aggregator:     tb.aggregator,
 		BytesPerWorker: bytesPerWorker,
@@ -198,25 +200,25 @@ func RunQuery(cfg TestbedConfig, bytesPerWorker int64, rounds int) (*QueryResult
 	if err := tb.engine.RunFor(horizon); err != nil {
 		return nil, err
 	}
-	if !runner.Done() {
+	if !queries.Done() {
 		return nil, fmt.Errorf("core: query run incomplete after %v: %d/%d rounds",
-			horizon, len(runner.Rounds()), rounds)
+			horizon, len(queries.Rounds()), rounds)
 	}
 
-	times := runner.CompletionTimes()
-	goodputs := runner.GoodputsBps()
+	times := queries.CompletionTimes()
+	goodputs := queries.GoodputsBps()
 	res := &QueryResult{
 		Protocol:         cfg.Protocol.Name,
 		Workers:          cfg.Workers,
-		Rounds:           len(runner.Rounds()),
+		Rounds:           len(queries.Rounds()),
 		MeanGoodputBps:   stats.Mean(goodputs),
 		MeanCompletion:   secondsToDuration(stats.Mean(times)),
 		P95Completion:    secondsToDuration(stats.Quantile(times, 0.95)),
 		MaxCompletion:    secondsToDuration(stats.Quantile(times, 1)),
 		CompletionStdDev: secondsToDuration(stats.StdDev(times)),
-		Timeouts:         runner.TotalTimeouts(),
+		Timeouts:         queries.TotalTimeouts(),
 		Drops:            tb.bneck.Stats().DroppedOverflow,
-		MissedDeadlines:  runner.TotalMissedDeadlines(),
+		MissedDeadlines:  queries.TotalMissedDeadlines(),
 	}
 	if cfg.Deadline > 0 {
 		total := float64(res.Rounds * cfg.Workers)
@@ -250,20 +252,29 @@ type WorkerSweepPoint struct {
 	Result *QueryResult
 }
 
-// SweepWorkers repeats run for each worker count, cloning base.
+// SweepWorkers repeats run for each worker count, cloning base. Points run
+// serially; use SweepWorkersParallel to spread them over goroutines.
 func SweepWorkers(base TestbedConfig, workers []int, rounds int,
 	run func(TestbedConfig, int) (*QueryResult, error)) ([]WorkerSweepPoint, error) {
-	out := make([]WorkerSweepPoint, 0, len(workers))
-	for _, n := range workers {
-		cfg := base
-		cfg.Workers = n
-		res, err := run(cfg, rounds)
-		if err != nil {
-			return nil, fmt.Errorf("sweep workers=%d: %w", n, err)
-		}
-		out = append(out, WorkerSweepPoint{Workers: n, Result: res})
-	}
-	return out, nil
+	return SweepWorkersParallel(context.Background(), base, workers, rounds, 1, run)
+}
+
+// SweepWorkersParallel runs the sweep points concurrently on up to par
+// goroutines (values < 1 mean GOMAXPROCS). Each point builds a private
+// testbed seeded only by base.Seed, so results are byte-identical for any
+// worker count; they are returned in the order of workers.
+func SweepWorkersParallel(ctx context.Context, base TestbedConfig, workers []int, rounds, par int,
+	run func(TestbedConfig, int) (*QueryResult, error)) ([]WorkerSweepPoint, error) {
+	return runner.Map(ctx, len(workers), runner.Options{Workers: par},
+		func(_ context.Context, i int) (WorkerSweepPoint, error) {
+			cfg := base
+			cfg.Workers = workers[i]
+			res, err := run(cfg, rounds)
+			if err != nil {
+				return WorkerSweepPoint{}, fmt.Errorf("sweep workers=%d: %w", workers[i], err)
+			}
+			return WorkerSweepPoint{Workers: workers[i], Result: res}, nil
+		})
 }
 
 func secondsToDuration(s float64) time.Duration {

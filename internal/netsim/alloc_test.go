@@ -1,0 +1,100 @@
+//go:build !race
+
+package netsim
+
+import (
+	"testing"
+
+	"dtdctcp/internal/invariant"
+)
+
+// TestForwardSteadyStateAllocFree pins down the tentpole property on the
+// network layer: once the event free list, the port rings, and the packet
+// pool are warm, forwarding a pooled packet host→switch→host performs no
+// heap allocations — not for events, not for queue slots, not for the
+// packet itself.
+//
+// The file is excluded from -race builds (the race runtime instruments
+// allocations) and skipped under -tags invariants (Assert's varargs box
+// allocates by design).
+func TestForwardSteadyStateAllocFree(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions allocate; alloc accounting is meaningless")
+	}
+	e, src, dst := benchNet(t, nil)
+	sink := &countingSink{}
+	dst.Register(1, sink)
+
+	send := func() {
+		pkt := src.Network().AllocPacket()
+		pkt.Flow = 1
+		pkt.Dst = dst.ID()
+		pkt.Size = 1500
+		pkt.ECT = true
+		src.Send(pkt)
+	}
+
+	// Warm-up: grow rings, event free list, and packet pool to their
+	// steady-state working set.
+	for i := 0; i < 512; i++ {
+		send()
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 64
+	avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < batch; i++ {
+			send()
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state forwarding allocated %.2f times per %d-packet batch, want 0", avg, batch)
+	}
+	if sink.n == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+// TestPortSendSteadyStateAllocFree isolates Port.Send + transmit chain:
+// enqueue/dequeue through the ring with a busy link must not allocate.
+func TestPortSendSteadyStateAllocFree(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions allocate; alloc accounting is meaningless")
+	}
+	e, src, dst := benchNet(t, nil)
+	sink := &countingSink{}
+	dst.Register(1, sink)
+	port := src.Uplink()
+
+	for i := 0; i < 256; i++ {
+		pkt := src.Network().AllocPacket()
+		pkt.Flow = 1
+		pkt.Dst = dst.ID()
+		pkt.Size = 1500
+		port.Send(pkt)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 32; i++ {
+			pkt := src.Network().AllocPacket()
+			pkt.Flow = 1
+			pkt.Dst = dst.ID()
+			pkt.Size = 1500
+			port.Send(pkt)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Port.Send steady state allocated %.2f times per batch, want 0", avg)
+	}
+}

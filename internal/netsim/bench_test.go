@@ -15,7 +15,7 @@ func (c *countingSink) Deliver(*Packet) { c.n++ }
 
 // benchNet wires one sender host through a switch to a sink host and
 // returns the pieces.
-func benchNet(b *testing.B, policy aqm.Policy) (*sim.Engine, *Host, *Host) {
+func benchNet(b testing.TB, policy aqm.Policy) (*sim.Engine, *Host, *Host) {
 	b.Helper()
 	e := sim.NewEngine(1)
 	n := NewNetwork(e)
@@ -44,7 +44,12 @@ func benchForward(b *testing.B, policy aqm.Policy) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		src.Send(&Packet{Flow: 1, Dst: dst.ID(), Size: 1500, ECT: true})
+		pkt := src.Network().AllocPacket()
+		pkt.Flow = 1
+		pkt.Dst = dst.ID()
+		pkt.Size = 1500
+		pkt.ECT = true
+		src.Send(pkt)
 		if i%256 == 255 {
 			if err := e.Run(); err != nil {
 				b.Fatal(err)

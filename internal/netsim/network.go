@@ -17,6 +17,8 @@ type Network struct {
 	// adjacency lists the neighbours of each node in attachment order,
 	// mirrored by the switch port slices.
 	adjacency map[NodeID][]NodeID
+	// pool recycles packets across the whole topology; see AllocPacket.
+	pool packetPool
 }
 
 // NewNetwork creates an empty topology bound to the engine.
@@ -79,7 +81,7 @@ func (n *Network) Connect(a, b Node, ab, ba PortConfig) error {
 }
 
 func (n *Network) attach(from, to Node, cfg PortConfig) (*Port, error) {
-	port := newPort(n.engine, cfg, to)
+	port := newPort(n, cfg, to)
 	switch node := from.(type) {
 	case *Host:
 		if node.uplink != nil {

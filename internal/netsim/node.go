@@ -60,6 +60,7 @@ func (s *Switch) Receive(pkt *Packet) {
 	idx, ok := s.routes[pkt.Dst]
 	if !ok {
 		s.droppedNoRoute++
+		s.net.FreePacket(pkt)
 		return
 	}
 	s.ports[idx].Send(pkt)
@@ -111,14 +112,18 @@ func (h *Host) Send(pkt *Packet) {
 	h.uplink.Send(pkt)
 }
 
-// Receive implements Node: deliver to the flow's endpoint.
+// Receive implements Node: deliver to the flow's endpoint. Delivery is
+// a pooled packet's terminal point — the network recycles it when
+// Deliver returns, so endpoints must copy out anything they keep.
 func (h *Host) Receive(pkt *Packet) {
 	ep, ok := h.endpoints[pkt.Flow]
 	if !ok {
 		h.droppedNoFlow++
+		h.net.FreePacket(pkt)
 		return
 	}
 	ep.Deliver(pkt)
+	h.net.FreePacket(pkt)
 }
 
 // DroppedNoFlow reports packets discarded for lack of an endpoint.

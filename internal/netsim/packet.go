@@ -67,6 +67,12 @@ type Packet struct {
 	// EchoSentAt is the SentAt of the data packet that triggered this
 	// ACK (for RTT measurement at the sender).
 	EchoSentAt sim.Time
+
+	// pooled marks a packet born from a Network's free list; only such
+	// packets are recycled at delivery/drop points. freed guards against
+	// double-recycling.
+	pooled bool
+	freed  bool
 }
 
 // String renders a compact description for traces.

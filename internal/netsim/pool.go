@@ -1,0 +1,52 @@
+package netsim
+
+import "dtdctcp/internal/invariant"
+
+// packetPool is a free list of Packets owned by one Network. Transport
+// endpoints allocate from it and the network recycles a packet at its
+// single terminal point — delivery to an endpoint or a drop — so the
+// steady-state data path reuses a small working set of packets instead
+// of allocating one per segment.
+//
+// Only packets born from the pool are ever recycled: a Packet built with
+// a plain composite literal (tests, examples) passes through the free
+// hooks untouched, which keeps the pool opt-in and the old construction
+// style valid.
+type packetPool struct {
+	free []*Packet
+}
+
+func (pp *packetPool) get() *Packet {
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		p.freed = false
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+func (pp *packetPool) put(p *Packet) {
+	if p == nil || !p.pooled || p.freed {
+		if invariant.Enabled && p != nil && p.pooled {
+			invariant.Assert(!p.freed, "netsim: double free of pooled packet %v", p)
+		}
+		return
+	}
+	*p = Packet{pooled: true, freed: true}
+	pp.free = append(pp.free, p)
+}
+
+// AllocPacket returns a zeroed packet from the network's free list. The
+// caller sets its fields and hands it to a Host or Port; the network
+// recycles it when it is delivered or dropped. After that point the
+// packet must not be touched — endpoints that need data past Deliver
+// must copy it out.
+func (n *Network) AllocPacket() *Packet { return n.pool.get() }
+
+// FreePacket returns a pooled packet to the free list; packets not born
+// from AllocPacket are ignored. Model code rarely calls this directly —
+// the network frees at delivery and drop points — but a producer that
+// allocated a packet and then decided not to send it must give it back.
+func (n *Network) FreePacket(p *Packet) { n.pool.put(p) }

@@ -19,7 +19,8 @@ type QueueMonitor interface {
 
 // PortTracer observes per-packet events at one port, for structured
 // tracing. All hooks run synchronously on the simulation goroutine; keep
-// them cheap.
+// them cheap, and copy out any packet fields needed later — pooled
+// packets are recycled after the hook returns.
 type PortTracer interface {
 	// PacketEnqueued fires after a packet is accepted into the queue;
 	// marked reports whether this port set CE on it.
@@ -53,6 +54,7 @@ type PortStats struct {
 // fixed propagation delay to the peer node.
 type Port struct {
 	engine *sim.Engine
+	net    *Network
 
 	// rate and delay describe the attached link.
 	rate  Rate
@@ -63,12 +65,19 @@ type Port struct {
 	policy aqm.Policy
 	peer   Node
 
-	queue    []*Packet
+	queue    pktRing
 	queueLen int // bytes
 	busy     bool
 	stats    PortStats
 	monitor  QueueMonitor
 	tracer   PortTracer
+
+	// txDoneFn and deliverFn are the transmit chain's event callbacks,
+	// built once at construction. Scheduling them through ScheduleArg
+	// with the packet as the argument keeps the per-packet event path
+	// free of closure allocations.
+	txDoneFn  func(any)
+	deliverFn func(any)
 }
 
 // PortConfig bundles the parameters of one directed link attachment.
@@ -83,19 +92,29 @@ type PortConfig struct {
 	Policy aqm.Policy
 }
 
-func newPort(engine *sim.Engine, cfg PortConfig, peer Node) *Port {
+func newPort(net *Network, cfg PortConfig, peer Node) *Port {
 	policy := cfg.Policy
 	if policy == nil {
 		policy = aqm.NewDropTail()
 	}
-	return &Port{
-		engine: engine,
+	p := &Port{
+		engine: net.engine,
+		net:    net,
 		rate:   cfg.Rate,
 		delay:  cfg.Delay,
 		buffer: cfg.Buffer,
 		policy: policy,
 		peer:   peer,
+		queue:  pktRing{buf: make([]*Packet, ringInitialCap)},
 	}
+	p.deliverFn = func(arg any) { p.peer.Receive(arg.(*Packet)) }
+	p.txDoneFn = func(arg any) {
+		// Arrival at the peer after propagation; transmission of the
+		// next packet can begin immediately.
+		p.engine.AfterArg(p.delay, p.deliverFn, arg)
+		p.transmitNext()
+	}
+	return p
 }
 
 // SetMonitor attaches a queue monitor; pass nil to detach.
@@ -111,7 +130,7 @@ func (p *Port) Stats() PortStats { return p.stats }
 func (p *Port) QueueLen() int { return p.queueLen }
 
 // QueuePackets returns the number of queued packets.
-func (p *Port) QueuePackets() int { return len(p.queue) }
+func (p *Port) QueuePackets() int { return p.queue.len() }
 
 // Policy returns the attached AQM policy.
 func (p *Port) Policy() aqm.Policy { return p.policy }
@@ -122,25 +141,33 @@ func (p *Port) Rate() Rate { return p.rate }
 // Peer returns the node at the far end of the link.
 func (p *Port) Peer() Node { return p.peer }
 
+// drop discards a packet: count, trace, recycle.
+func (p *Port) drop(pkt *Packet, overflow bool) {
+	if overflow {
+		p.stats.DroppedOverflow++
+	} else {
+		p.stats.DroppedPolicy++
+	}
+	if p.tracer != nil {
+		p.tracer.PacketDropped(p.engine.Now(), pkt, p.queueLen, overflow)
+	}
+	p.net.FreePacket(pkt)
+}
+
 // Send offers a packet to the port. The AQM policy is consulted with the
-// occupancy at arrival; buffer overflow always drops.
+// occupancy at arrival; buffer overflow always drops. A dropped packet is
+// recycled here — the caller must not touch it after Send returns.
 func (p *Port) Send(pkt *Packet) {
 	verdict := p.policy.OnArrival(p.engine.Now(), p.queueLen, pkt.Size)
 	if verdict == aqm.Drop {
-		p.stats.DroppedPolicy++
-		if p.tracer != nil {
-			p.tracer.PacketDropped(p.engine.Now(), pkt, p.queueLen, false)
-		}
+		p.drop(pkt, false)
 		return
 	}
 	if p.queueLen+pkt.Size > p.buffer {
-		p.stats.DroppedOverflow++
 		// The policy saw an arrival that never materialized; inform it
 		// of the unchanged occupancy so trend estimators stay honest.
 		p.policy.OnDeparture(p.engine.Now(), p.queueLen)
-		if p.tracer != nil {
-			p.tracer.PacketDropped(p.engine.Now(), pkt, p.queueLen, true)
-		}
+		p.drop(pkt, true)
 		return
 	}
 	marked := false
@@ -153,16 +180,13 @@ func (p *Port) Send(pkt *Packet) {
 		case markSubstitutesDrop(p.policy):
 			// RFC 3168 §5: a law whose mark replaces a drop must
 			// drop non-ECT traffic when it signals congestion.
-			p.stats.DroppedPolicy++
 			p.policy.OnDeparture(p.engine.Now(), p.queueLen)
-			if p.tracer != nil {
-				p.tracer.PacketDropped(p.engine.Now(), pkt, p.queueLen, false)
-			}
+			p.drop(pkt, false)
 			return
 		}
 	}
 	pkt.EnqueuedAt = p.engine.Now()
-	p.queue = append(p.queue, pkt)
+	p.queue.push(pkt)
 	p.queueLen += pkt.Size
 	p.stats.Enqueued++
 	p.checkConservation()
@@ -178,15 +202,12 @@ func (p *Port) Send(pkt *Packet) {
 func (p *Port) transmitNext() {
 	var pkt *Packet
 	for {
-		if len(p.queue) == 0 {
+		if p.queue.len() == 0 {
 			p.busy = false
 			return
 		}
 		p.busy = true
-		pkt = p.queue[0]
-		copy(p.queue, p.queue[1:])
-		p.queue[len(p.queue)-1] = nil
-		p.queue = p.queue[:len(p.queue)-1]
+		pkt = p.queue.pop()
 		p.queueLen -= pkt.Size
 		p.checkConservation()
 
@@ -198,10 +219,7 @@ func (p *Port) transmitNext() {
 		sojourn := (p.engine.Now() - pkt.EnqueuedAt).Duration()
 		verdict := dq.OnDequeue(p.engine.Now(), sojourn, p.queueLen)
 		if verdict == aqm.Drop {
-			p.stats.DroppedPolicy++
-			if p.tracer != nil {
-				p.tracer.PacketDropped(p.engine.Now(), pkt, p.queueLen, false)
-			}
+			p.drop(pkt, false)
 			p.notifyMonitor()
 			continue
 		}
@@ -212,10 +230,7 @@ func (p *Port) transmitNext() {
 					p.stats.Marked++
 				}
 			} else if markSubstitutesDrop(p.policy) {
-				p.stats.DroppedPolicy++
-				if p.tracer != nil {
-					p.tracer.PacketDropped(p.engine.Now(), pkt, p.queueLen, false)
-				}
+				p.drop(pkt, false)
 				p.notifyMonitor()
 				continue
 			}
@@ -230,13 +245,7 @@ func (p *Port) transmitNext() {
 	}
 	p.notifyMonitor()
 
-	txDone := p.rate.Serialization(pkt.Size)
-	p.engine.After(txDone, func() {
-		// Arrival at the peer after propagation; transmission of the
-		// next packet can begin immediately.
-		p.engine.After(p.delay, func() { p.peer.Receive(pkt) })
-		p.transmitNext()
-	})
+	p.engine.AfterArg(p.rate.Serialization(pkt.Size), p.txDoneFn, pkt)
 }
 
 // markSubstitutesDrop reports whether the policy's marks stand in for
@@ -265,8 +274,8 @@ func (p *Port) checkConservation() {
 	invariant.Assert(p.queueLen <= p.buffer, "netsim: occupancy %d exceeds buffer %d on port to %s",
 		p.queueLen, p.buffer, p.peer.Name())
 	sum := 0
-	for _, q := range p.queue {
-		sum += q.Size
+	for i := 0; i < p.queue.len(); i++ {
+		sum += p.queue.at(i).Size
 	}
 	invariant.Assert(sum == p.queueLen, "netsim: byte-count drift: queued packets hold %d bytes, counter says %d",
 		sum, p.queueLen)

@@ -1,0 +1,51 @@
+package netsim
+
+// pktRing is a FIFO of packets over a power-of-two circular buffer. The
+// previous slice-based queue shifted every remaining element on dequeue
+// (O(n) copy per packet, quadratic under deep queues — exactly the
+// regime the paper's oscillation experiments spend their time in); the
+// ring dequeues in O(1) and only allocates when the occupancy exceeds
+// every level seen before.
+type pktRing struct {
+	buf  []*Packet // len(buf) is always a power of two
+	head int       // index of the oldest element
+	n    int       // occupancy
+}
+
+const ringInitialCap = 64
+
+func (r *pktRing) len() int { return r.n }
+
+func (r *pktRing) push(p *Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+func (r *pktRing) pop() *Packet {
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
+}
+
+// at returns the i-th element in FIFO order without removing it.
+func (r *pktRing) at(i int) *Packet {
+	return r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+func (r *pktRing) grow() {
+	capNew := 2 * len(r.buf)
+	if capNew < ringInitialCap {
+		capNew = ringInitialCap
+	}
+	buf := make([]*Packet, capNew)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.at(i)
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -1,0 +1,100 @@
+// Allocation-regression tests for the pooled event path. They are
+// excluded from race builds (the race runtime adds bookkeeping
+// allocations) and skipped under -tags invariants (assertion arguments
+// box into ...any); CI runs them in the default configuration, where a
+// regression fails the build.
+
+//go:build !race
+
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"dtdctcp/internal/invariant"
+)
+
+// TestScheduleSteadyStateAllocFree asserts that once the event pool is
+// warm, Schedule + run recycles storage instead of allocating: the
+// dominant cost of every packet-level experiment.
+func TestScheduleSteadyStateAllocFree(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions box arguments; allocation budget does not apply")
+	}
+	e := NewEngine(1)
+	fn := func() {}
+	// Warm the pool past the working set of the loop below.
+	for i := 0; i < 128; i++ {
+		e.Schedule(e.Now()+Time(i%8+1), fn)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			e.Schedule(e.Now()+Time(i%8+1), fn)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Schedule/run allocates %.1f objs per batch, want 0", allocs)
+	}
+}
+
+// TestAfterArgSteadyStateAllocFree covers the closure-free scheduling
+// path the port transmit chain uses: a long-lived fn plus an out-of-band
+// pointer argument must not allocate.
+func TestAfterArgSteadyStateAllocFree(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions box arguments; allocation budget does not apply")
+	}
+	e := NewEngine(1)
+	type payload struct{ n int }
+	p := &payload{}
+	fn := func(arg any) { arg.(*payload).n++ }
+	e.AfterArg(time.Microsecond, fn, p)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		e.AfterArg(time.Microsecond, fn, p)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AfterArg steady state allocates %.1f objs per event, want 0", allocs)
+	}
+	if p.n == 0 {
+		t.Fatal("argument-carrying events never ran")
+	}
+}
+
+// TestTimerRearmAllocFree asserts the RTO pattern — Reset superseding a
+// pending deadline on every ACK — allocates nothing once warm, including
+// across the compactions its cancellations trigger.
+func TestTimerRearmAllocFree(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions box arguments; allocation budget does not apply")
+	}
+	e := NewEngine(1)
+	tm := NewTimer(e, func() {})
+	for i := 0; i < 1024; i++ {
+		tm.Reset(time.Millisecond)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 256; i++ {
+			tm.Reset(time.Millisecond)
+		}
+	})
+	tm.Stop()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("timer rearm allocates %.1f objs per batch, want 0", allocs)
+	}
+}

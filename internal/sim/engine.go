@@ -13,16 +13,35 @@ import (
 // explicitly before reaching the requested horizon.
 var ErrStopped = errors.New("sim: engine stopped")
 
+// initialHeapCap sizes the preallocated event-heap backing storage. A
+// dumbbell run keeps a few hundred events in flight (one per queued
+// packet plus timers); starting at this capacity means the heap slice
+// never reallocates in steady state.
+const initialHeapCap = 1024
+
+// compactMinCancelled is the floor below which lazy cancellation is left
+// alone: compacting a handful of events is not worth the O(n) pass.
+const compactMinCancelled = 64
+
 // Engine is the discrete-event simulation core. It owns the virtual clock
 // and the pending-event queue. An Engine must not be shared across
 // goroutines; all model code runs inside event handlers on the caller's
-// goroutine.
+// goroutine. Concurrent experiments each own a private Engine (see
+// internal/runner).
 type Engine struct {
 	now     Time
 	queue   eventHeap
 	nextSeq uint64
 	rng     *rand.Rand
 	stopped bool
+
+	// free is the event free list: fired and compacted events return
+	// here and are handed back out by Schedule, so the steady-state
+	// event path allocates nothing.
+	free []*Event
+	// cancelled counts lazily cancelled events still in the queue; when
+	// they outnumber live events the queue is compacted.
+	cancelled int
 
 	// processed counts events that actually ran (cancelled events are
 	// excluded). Exposed through Stats for tests and benchmarks.
@@ -36,7 +55,10 @@ func NewEngine(seed int64) *Engine {
 	// The engine is the single sanctioned root of randomness: every other
 	// construction site must draw from Engine.Rand() or an injected
 	// *rand.Rand so one seed governs the whole run.
-	return &Engine{rng: rand.New(rand.NewSource(seed))} //dtlint:allow nondeterm -- the one seeded root source
+	return &Engine{
+		rng:   rand.New(rand.NewSource(seed)), //dtlint:allow nondeterm -- the one seeded root source
+		queue: eventHeap{items: make([]*Event, 0, initialHeapCap)},
+	}
 }
 
 // Now returns the current virtual time.
@@ -46,30 +68,113 @@ func (e *Engine) Now() Time { return e.now }
 // draw all randomness from here so a run is a pure function of its seed.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// Schedule enqueues fn to run at the absolute instant at. Scheduling in
-// the past (before Now) is a programming error and panics: allowing it
-// silently would reorder causality.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+// alloc takes an event from the free list, or makes one.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// recycle returns a popped event to the free list. Bumping the
+// generation first invalidates every outstanding EventRef to it.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.run = nil
+	ev.runArg = nil
+	ev.arg = nil
+	ev.cancelled = false
+	ev.heapIndex = -1
+	e.free = append(e.free, ev)
+}
+
+// enqueue pools an event and pushes it at the given instant.
+func (e *Engine) enqueue(at Time) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: now=%v at=%v", e.now, at))
 	}
-	ev := &Event{At: at, Run: fn, seq: e.nextSeq}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.nextSeq
 	e.nextSeq++
 	e.scheduled++
 	e.queue.push(ev)
 	return ev
 }
 
+// Schedule enqueues fn to run at the absolute instant at. Scheduling in
+// the past (before Now) is a programming error and panics: allowing it
+// silently would reorder causality.
+func (e *Engine) Schedule(at Time, fn func()) EventRef {
+	ev := e.enqueue(at)
+	ev.run = fn
+	return EventRef{engine: e, ev: ev, gen: ev.gen}
+}
+
+// ScheduleArg enqueues fn to run at the absolute instant at with arg as
+// its argument. The argument travels out of band so call sites with a
+// long-lived fn (stored once on the owning struct) schedule without
+// allocating a closure — the difference between one heap allocation per
+// packet and none on the port transmit path.
+func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) EventRef {
+	ev := e.enqueue(at)
+	ev.runArg = fn
+	ev.arg = arg
+	return EventRef{engine: e, ev: ev, gen: ev.gen}
+}
+
 // After enqueues fn to run d after the current instant.
-func (e *Engine) After(d time.Duration, fn func()) *Event {
+func (e *Engine) After(d time.Duration, fn func()) EventRef {
 	return e.Schedule(e.now.Add(d), fn)
+}
+
+// AfterArg enqueues fn to run d after the current instant with arg as
+// its argument; see ScheduleArg.
+func (e *Engine) AfterArg(d time.Duration, fn func(any), arg any) EventRef {
+	return e.ScheduleArg(e.now.Add(d), fn, arg)
+}
+
+// noteCancelled records one lazy cancellation and compacts the queue
+// when cancelled events outnumber live ones. RTO timers are rearmed (one
+// cancel) per ACK, so without compaction a cancel-heavy run would hold
+// its entire timer history in the heap until the deadlines surface.
+func (e *Engine) noteCancelled() {
+	e.cancelled++
+	if e.cancelled >= compactMinCancelled && e.cancelled*2 > e.queue.Len() {
+		e.compact()
+	}
+}
+
+// compact removes every cancelled event from the queue in one O(n) pass
+// and restores the heap property. Relative order of the survivors is
+// unaffected: ordering is decided by (at, seq), which compaction does not
+// touch.
+func (e *Engine) compact() {
+	items := e.queue.items
+	kept := items[:0]
+	for _, ev := range items {
+		if ev.cancelled {
+			e.recycle(ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	for i := len(kept); i < len(items); i++ {
+		items[i] = nil
+	}
+	e.queue.items = kept
+	e.queue.reheapify()
+	e.cancelled = 0
 }
 
 // Stop halts the run loop after the currently executing event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of events still queued (including lazily
-// cancelled ones).
+// cancelled ones that have not yet been compacted away).
 func (e *Engine) Pending() int { return e.queue.Len() }
 
 // Run processes events until the queue drains or Stop is called. It
@@ -83,7 +188,7 @@ func (e *Engine) Run() error {
 // queue drains early, so back-to-back RunUntil calls observe monotonic
 // time.
 func (e *Engine) RunUntil(horizon Time) error {
-	err := e.run(func(ev *Event) bool { return ev.At <= horizon })
+	err := e.run(func(ev *Event) bool { return ev.at <= horizon })
 	if e.now < horizon {
 		e.now = horizon
 	}
@@ -107,15 +212,27 @@ func (e *Engine) run(keep func(*Event) bool) error {
 		}
 		e.queue.pop()
 		if next.cancelled {
+			e.cancelled--
+			e.recycle(next)
 			continue
 		}
 		if invariant.Enabled {
-			invariant.Assert(next.At >= e.now,
-				"sim: event time moved backwards: now=%v next=%v", e.now, next.At)
+			invariant.Assert(next.at >= e.now,
+				"sim: event time moved backwards: now=%v next=%v", e.now, next.at)
 		}
-		e.now = next.At
+		e.now = next.at
 		e.processed++
-		next.Run()
+		// Recycle before running: the handler's own storage is saved to
+		// locals, so any event the handler schedules can reuse it
+		// immediately (the common self-scheduling transmit chain then
+		// ping-pongs between two pooled events for its whole lifetime).
+		run, runArg, arg := next.run, next.runArg, next.arg
+		e.recycle(next)
+		if runArg != nil {
+			runArg(arg)
+		} else {
+			run()
+		}
 	}
 }
 

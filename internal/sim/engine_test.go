@@ -137,11 +137,40 @@ func TestCancelSkipsEvent(t *testing.T) {
 	}
 }
 
-func TestCancelNilEventIsNoop(t *testing.T) {
-	var ev *Event
+func TestCancelZeroEventRefIsNoop(t *testing.T) {
+	var ev EventRef
 	ev.Cancel() // must not panic
 	if ev.Cancelled() {
-		t.Fatal("nil event reports cancelled")
+		t.Fatal("zero EventRef reports cancelled")
+	}
+	if ev.Pending() {
+		t.Fatal("zero EventRef reports pending")
+	}
+	if ev.At() != TimeNever {
+		t.Fatalf("zero EventRef At = %v, want never", ev.At())
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine(1)
+	first := e.Schedule(100, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The fired event's storage is recycled; a later event may occupy it.
+	second := e.Schedule(200, func() {})
+	first.Cancel() // stale handle: must not cancel the new occupant
+	if second.Cancelled() {
+		t.Fatal("stale Cancel hit a recycled event")
+	}
+	ran := false
+	third := e.Schedule(300, func() { ran = true })
+	_ = third
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Fatal("event after stale cancel did not run")
 	}
 }
 
@@ -260,7 +289,7 @@ func TestPropertyHeapMatchesReferenceModel(t *testing.T) {
 			if op%3 != 0 || h.Len() == 0 {
 				k := key{at: Time(rng.Intn(64)), seq: seq}
 				seq++
-				h.push(&Event{At: k.at, seq: k.seq})
+				h.push(&Event{at: k.at, seq: k.seq})
 				ref = append(ref, k)
 				continue
 			}
@@ -271,7 +300,7 @@ func TestPropertyHeapMatchesReferenceModel(t *testing.T) {
 					best = i
 				}
 			}
-			if ev.At != ref[best].at || ev.seq != ref[best].seq {
+			if ev.at != ref[best].at || ev.seq != ref[best].seq {
 				return false
 			}
 			ref = append(ref[:best], ref[best+1:]...)

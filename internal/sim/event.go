@@ -1,35 +1,80 @@
 package sim
 
-// Event is a unit of scheduled work. Events are compared first by their
-// firing time and then by their sequence number, so two events scheduled
-// for the same instant always run in the order they were scheduled. This
-// deterministic tie-break is what makes runs reproducible.
+// Event is a unit of scheduled work, owned and recycled by its Engine.
+// Events are compared first by their firing time and then by their
+// sequence number, so two events scheduled for the same instant always
+// run in the order they were scheduled. This deterministic tie-break is
+// what makes runs reproducible.
+//
+// Model code never touches an Event directly: Schedule and After return
+// an EventRef, a generation-checked handle that stays safe to use after
+// the event has fired and its storage has been recycled for a later
+// event.
 type Event struct {
-	// At is the virtual instant the event fires.
-	At Time
-	// Run executes the event. It runs exactly once, at time At, unless
-	// the event was cancelled first.
-	Run func()
+	// at is the virtual instant the event fires.
+	at Time
+	// Exactly one of run/runArg is set. runArg carries its argument out
+	// of band so hot paths can schedule without allocating a closure.
+	run    func()
+	runArg func(any)
+	arg    any
 
 	seq       uint64
 	heapIndex int
 	cancelled bool
+	// gen increments every time the storage is recycled; EventRef
+	// handles carry the generation they were issued for, which turns
+	// use-after-recycle into a no-op instead of corrupting an unrelated
+	// event.
+	gen uint64
+}
+
+// EventRef is a handle to a scheduled event. The zero value is an
+// unarmed reference: Cancel on it is a no-op and Pending reports false.
+// A reference stays valid (as a no-op) after its event fires: the engine
+// recycles event storage, and the generation check distinguishes the
+// original event from any later occupant.
+type EventRef struct {
+	engine *Engine
+	ev     *Event
+	gen    uint64
+}
+
+// Pending reports whether the event is still queued and uncancelled.
+func (r EventRef) Pending() bool {
+	return r.ev != nil && r.ev.gen == r.gen && !r.ev.cancelled
+}
+
+// At returns the firing instant of a pending event, or TimeNever once
+// the event has fired or been cancelled.
+func (r EventRef) At() Time {
+	if !r.Pending() {
+		return TimeNever
+	}
+	return r.ev.at
 }
 
 // Cancel prevents a pending event from running. Cancelling an event that
-// has already fired (or was already cancelled) is a no-op. Cancellation is
-// lazy: the event stays in the queue but its Run hook is skipped when it
-// surfaces, which keeps cancellation O(1).
-func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
+// has already fired (or was already cancelled) is a no-op. Cancellation
+// is lazy — the event stays queued and is skipped (and recycled) when it
+// surfaces — but the engine compacts the queue when cancelled events
+// outnumber live ones, so a cancel-heavy workload cannot grow the queue
+// without bound.
+func (r EventRef) Cancel() {
+	if r.ev == nil || r.ev.gen != r.gen || r.ev.cancelled {
+		return
 	}
+	r.ev.cancelled = true
+	r.engine.noteCancelled()
 }
 
-// Cancelled reports whether Cancel has been called on the event.
-func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+// Cancelled reports whether Cancel has been called on the event it
+// references and the event has not yet been recycled.
+func (r EventRef) Cancelled() bool {
+	return r.ev != nil && r.ev.gen == r.gen && r.ev.cancelled
+}
 
-// eventHeap is a binary min-heap of events ordered by (At, seq). It
+// eventHeap is a binary min-heap of events ordered by (at, seq). It
 // implements the parts of container/heap we need by hand; the hand-rolled
 // version avoids interface boxing on the hot path (tens of millions of
 // events per experiment sweep).
@@ -41,8 +86,8 @@ func (h *eventHeap) Len() int { return len(h.items) }
 
 func (h *eventHeap) less(i, j int) bool {
 	a, b := h.items[i], h.items[j]
-	if a.At != b.At {
-		return a.At < b.At
+	if a.at != b.at {
+		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
@@ -106,5 +151,16 @@ func (h *eventHeap) down(i int) {
 		}
 		h.swap(i, smallest)
 		i = smallest
+	}
+}
+
+// reheapify restores the heap property over the whole backing slice in
+// O(n), used after compaction filters out cancelled events.
+func (h *eventHeap) reheapify() {
+	for i := range h.items {
+		h.items[i].heapIndex = i
+	}
+	for i := len(h.items)/2 - 1; i >= 0; i-- {
+		h.down(i)
 	}
 }

@@ -6,50 +6,46 @@ import "time"
 // shape of TCP retransmission timers: arm, re-arm (which supersedes the
 // previous deadline), and stop.
 type Timer struct {
-	engine  *Engine
-	fn      func()
-	pending *Event
+	engine *Engine
+	fn     func()
+	// fire wraps fn once at construction so Reset/ResetAt schedule a
+	// preallocated callback instead of building a closure per rearm
+	// (timers rearm on every ACK — the hottest cancel path in a run).
+	fire    func()
+	pending EventRef
 }
 
 // NewTimer creates an unarmed timer that will invoke fn when it fires.
 func NewTimer(engine *Engine, fn func()) *Timer {
-	return &Timer{engine: engine, fn: fn}
+	t := &Timer{engine: engine, fn: fn}
+	t.fire = func() {
+		t.pending = EventRef{}
+		t.fn()
+	}
+	return t
 }
 
 // Reset (re)arms the timer to fire d after the current virtual instant,
 // cancelling any previously armed deadline.
 func (t *Timer) Reset(d time.Duration) {
 	t.Stop()
-	t.pending = t.engine.After(d, func() {
-		t.pending = nil
-		t.fn()
-	})
+	t.pending = t.engine.After(d, t.fire)
 }
 
 // ResetAt (re)arms the timer to fire at the absolute instant at.
 func (t *Timer) ResetAt(at Time) {
 	t.Stop()
-	t.pending = t.engine.Schedule(at, func() {
-		t.pending = nil
-		t.fn()
-	})
+	t.pending = t.engine.Schedule(at, t.fire)
 }
 
 // Stop disarms the timer. Stopping an unarmed timer is a no-op.
 func (t *Timer) Stop() {
-	if t.pending != nil {
-		t.pending.Cancel()
-		t.pending = nil
-	}
+	t.pending.Cancel()
+	t.pending = EventRef{}
 }
 
 // Armed reports whether the timer has a pending deadline.
-func (t *Timer) Armed() bool { return t.pending != nil }
+func (t *Timer) Armed() bool { return t.pending.Pending() }
 
 // Deadline returns the armed firing instant, or TimeNever if unarmed.
-func (t *Timer) Deadline() Time {
-	if t.pending == nil {
-		return TimeNever
-	}
-	return t.pending.At
-}
+func (t *Timer) Deadline() Time { return t.pending.At() }

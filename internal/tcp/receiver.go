@@ -179,18 +179,17 @@ func (r *Receiver) flushAck() {
 	case r.cfg.Variant == RenoECN:
 		ece = r.eceLatched
 	}
-	ack := &netsim.Packet{
-		Flow:         r.flow,
-		Dst:          r.peer,
-		Size:         r.cfg.HeaderBytes,
-		IsAck:        true,
-		Ack:          r.rcvNxt,
-		ECT:          r.cfg.ECT(),
-		ECE:          ece,
-		DelayedCount: r.pendingPkts,
-		EchoSentAt:   r.lastDataSent,
-		SentAt:       r.engine.Now(),
-	}
+	ack := r.host.Network().AllocPacket()
+	ack.Flow = r.flow
+	ack.Dst = r.peer
+	ack.Size = r.cfg.HeaderBytes
+	ack.IsAck = true
+	ack.Ack = r.rcvNxt
+	ack.ECT = r.cfg.ECT()
+	ack.ECE = ece
+	ack.DelayedCount = r.pendingPkts
+	ack.EchoSentAt = r.lastDataSent
+	ack.SentAt = r.engine.Now()
 	r.pendingPkts = 0
 	r.pendingBytes = 0
 	r.ackTimer.Stop()

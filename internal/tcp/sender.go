@@ -194,15 +194,14 @@ func (s *Sender) trySend() {
 
 // transmit sends one segment starting at seq.
 func (s *Sender) transmit(seq int64, payload int) {
-	pkt := &netsim.Packet{
-		Flow:       s.flow,
-		Dst:        s.peer,
-		Size:       payload + s.cfg.HeaderBytes,
-		Seq:        seq,
-		PayloadLen: payload,
-		ECT:        s.cfg.ECT(),
-		SentAt:     s.engine.Now(),
-	}
+	pkt := s.host.Network().AllocPacket()
+	pkt.Flow = s.flow
+	pkt.Dst = s.peer
+	pkt.Size = payload + s.cfg.HeaderBytes
+	pkt.Seq = seq
+	pkt.PayloadLen = payload
+	pkt.ECT = s.cfg.ECT()
+	pkt.SentAt = s.engine.Now()
 	if s.cwrPending {
 		pkt.CWR = true
 		s.cwrPending = false

@@ -461,7 +461,12 @@ func TestPropertyReliabilityUnderLoss(t *testing.T) {
 
 type ackRecorder struct{ acks []*netsim.Packet }
 
-func (a *ackRecorder) Deliver(p *netsim.Packet) { a.acks = append(a.acks, p) }
+// Deliver copies the packet: delivered packets may be pooled and are
+// recycled by the network as soon as Deliver returns.
+func (a *ackRecorder) Deliver(p *netsim.Packet) {
+	cp := *p
+	a.acks = append(a.acks, &cp)
+}
 
 // dropNth drops exactly the n-th data arrival (1-based), then accepts.
 type dropNth struct {
