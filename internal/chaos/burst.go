@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"time"
+
+	"dtdctcp/internal/netsim"
+	"dtdctcp/internal/sim"
+)
+
+// defaultBurstBytes is the injected packet size when a burst event does
+// not set packet_bytes.
+const defaultBurstBytes = 1500
+
+// burster injects background packets into one port with exponential
+// inter-arrivals at a mean bit rate. Packets are pooled, carry
+// BurstFlowID, and are addressed to the port's peer so they evaporate
+// one hop downstream after loading the queue. The fire callback is
+// prestored so steady-state injection does not allocate.
+type burster struct {
+	c    *Controller
+	port *netsim.Port
+	dst  netsim.NodeID
+	size int
+	// meanGap is the mean inter-arrival time at the target rate.
+	meanGap time.Duration
+	stop    sim.Time
+	name    string
+
+	fireFn func(any)
+}
+
+func (c *Controller) scheduleBurst(ev *Event, port *netsim.Port, at sim.Time) {
+	size := ev.PacketBytes
+	if size == 0 {
+		size = defaultBurstBytes
+	}
+	gap := time.Duration(float64(size*8) / float64(ev.RateBps) * float64(time.Second))
+	b := &burster{
+		c:       c,
+		port:    port,
+		dst:     port.Peer().ID(),
+		size:    size,
+		meanGap: gap,
+		stop:    at.Add(ev.For.Duration),
+		name:    ev.Link,
+	}
+	b.fireFn = b.fire
+	c.engine.Schedule(at, func() {
+		if c.trace != nil {
+			c.trace.Burst(c.engine.Now(), true, b.name)
+		}
+		b.fire(nil)
+	})
+}
+
+func (b *burster) fire(any) {
+	now := b.c.engine.Now()
+	if !now.Before(b.stop) {
+		if b.c.trace != nil {
+			b.c.trace.Burst(now, false, b.name)
+		}
+		return
+	}
+	pkt := b.c.net.AllocPacket()
+	pkt.Flow = b.c.burstFlow
+	pkt.Dst = b.dst
+	pkt.Size = b.size
+	b.port.Send(pkt)
+	// Exponential inter-arrival: a Poisson packet process at the mean
+	// rate, drawn from the engine RNG at execution time.
+	gap := time.Duration(b.c.engine.Rand().ExpFloat64() * float64(b.meanGap))
+	if gap <= 0 {
+		gap = time.Nanosecond
+	}
+	b.c.engine.AfterArg(gap, b.fireFn, nil)
+}

@@ -1,0 +1,50 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzPlanJSON drives the plan parser with arbitrary bytes: it must
+// never panic, and any plan it accepts must validate, survive a
+// marshal/parse round trip, and report a non-negative span.
+func FuzzPlanJSON(f *testing.F) {
+	f.Add([]byte(`{"name":"p","events":[{"at":"25ms","kind":"link-down","link":"bottleneck","down_for":"2ms"}]}`))
+	f.Add([]byte(`{"name":"p","events":[{"at":"1ms","kind":"flap","link":"l","every":"2ms","down_for":"400us","count":5,"jitter":0.2,"flush":true}]}`))
+	f.Add([]byte(`{"name":"p","events":[{"at":"1ms","kind":"burst","link":"l","rate_bps":5000000000,"for":"5ms","packet_bytes":1500}]}`))
+	f.Add([]byte(`{"name":"p","events":[{"at":1000000,"kind":"corrupt","link":"l","prob":0.5,"for":"1ms"}]}`))
+	f.Add([]byte(`{"name":"p","events":[{"at":"0s","kind":"set-buffer","link":"l","buffer_bytes":60000}]}`))
+	f.Add([]byte(`{"name":"","events":null}`))
+	f.Add([]byte(`not json`))
+	for _, name := range Profiles() {
+		p, err := Profile(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := json.Marshal(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePlan(data)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParsePlan accepted a plan Validate rejects: %v", err)
+		}
+		if p.Span() < 0 {
+			t.Fatalf("negative span %v", p.Span())
+		}
+		out, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("marshal of accepted plan failed: %v", err)
+		}
+		if _, err := ParsePlan(out); err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, out)
+		}
+	})
+}

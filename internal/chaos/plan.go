@@ -1,0 +1,282 @@
+// Package chaos is the simulator's fault-injection and network-dynamics
+// layer. A Plan is a declarative, JSON-loadable schedule of events —
+// link outages and flapping, runtime capacity/delay/buffer changes,
+// probabilistic corruption windows, and bursty background-traffic
+// injectors — applied to named links of a running netsim topology by a
+// Controller.
+//
+// Determinism is the package's contract: every random draw (flap jitter,
+// burst inter-arrival times, corruption decisions) comes from the
+// engine's single seeded *rand.Rand, and draws happen at event execution
+// time in virtual-time order, so the same seed + plan yields
+// byte-identical runs regardless of wall-clock or worker count.
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Duration wraps time.Duration with human-readable JSON: it marshals as
+// a Go duration string ("5ms") and unmarshals from either a string or a
+// number of nanoseconds.
+type Duration struct {
+	time.Duration
+}
+
+// D builds a Duration from a time.Duration.
+func D(d time.Duration) Duration { return Duration{d} }
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch x := v.(type) {
+	case string:
+		dd, err := time.ParseDuration(x)
+		if err != nil {
+			return fmt.Errorf("chaos: bad duration %q: %w", x, err)
+		}
+		d.Duration = dd
+	case float64:
+		d.Duration = time.Duration(x)
+	default:
+		return fmt.Errorf("chaos: duration must be a string or nanoseconds, got %T", v)
+	}
+	return nil
+}
+
+// Event kinds understood by the Controller.
+const (
+	// KindLinkDown takes a link down at At. Flush discards the queue;
+	// otherwise it drains after the link returns. DownFor, when set,
+	// schedules the matching link-up automatically.
+	KindLinkDown = "link-down"
+	// KindLinkUp brings a link back up at At.
+	KindLinkUp = "link-up"
+	// KindFlap runs Count down/up cycles starting at At: down for
+	// DownFor, then up until the next cycle begins Every after the
+	// previous one. Jitter (0..1) randomizes each interval by up to
+	// ±Jitter of its nominal length using the engine RNG.
+	KindFlap = "flap"
+	// KindSetRate changes a link's capacity to RateBps at At.
+	KindSetRate = "set-rate"
+	// KindScaleRate multiplies a link's capacity by Factor at At.
+	KindScaleRate = "scale-rate"
+	// KindSetDelay changes a link's propagation delay to Delay at At.
+	KindSetDelay = "set-delay"
+	// KindSetBuffer resizes a link's buffer to BufferBytes at At;
+	// shrinking drops the newest queued packets.
+	KindSetBuffer = "set-buffer"
+	// KindCorrupt sets a link's post-serialization corruption
+	// probability to Prob at At; For, when set, restores 0 afterwards.
+	KindCorrupt = "corrupt"
+	// KindBurst injects background traffic into a link from At for For:
+	// PacketBytes-sized packets at mean rate RateBps with exponential
+	// inter-arrivals drawn from the engine RNG. The packets carry an
+	// unroutable background flow and evaporate one hop downstream.
+	KindBurst = "burst"
+)
+
+// Event is one scheduled perturbation. Which fields are meaningful
+// depends on Kind; Validate enforces the per-kind requirements.
+type Event struct {
+	// At is the virtual time the event fires.
+	At Duration `json:"at"`
+	// Kind selects the perturbation (see the Kind* constants).
+	Kind string `json:"kind"`
+	// Link names the target link, resolved via Controller.BindLink.
+	Link string `json:"link"`
+
+	// Flush, for link-down/flap: discard the queue instead of holding it.
+	Flush bool `json:"flush,omitempty"`
+	// DownFor, for link-down/flap: how long the link stays down.
+	DownFor Duration `json:"down_for,omitempty"`
+	// Every, for flap: nominal cycle period (down edge to down edge).
+	Every Duration `json:"every,omitempty"`
+	// Count, for flap: number of down/up cycles.
+	Count int `json:"count,omitempty"`
+	// Jitter, for flap: fractional randomization (0..1) of intervals.
+	Jitter float64 `json:"jitter,omitempty"`
+
+	// RateBps, for set-rate/burst: bits per second.
+	RateBps int64 `json:"rate_bps,omitempty"`
+	// Factor, for scale-rate: multiplier on the current rate.
+	Factor float64 `json:"factor,omitempty"`
+	// Delay, for set-delay: new propagation delay.
+	Delay Duration `json:"delay,omitempty"`
+	// BufferBytes, for set-buffer: new buffer size.
+	BufferBytes int `json:"buffer_bytes,omitempty"`
+
+	// Prob, for corrupt: per-packet corruption probability in [0,1].
+	Prob float64 `json:"prob,omitempty"`
+	// For, for corrupt/burst: how long the window lasts.
+	For Duration `json:"for,omitempty"`
+	// PacketBytes, for burst: injected packet size (default 1500).
+	PacketBytes int `json:"packet_bytes,omitempty"`
+}
+
+// Plan is a named schedule of chaos events.
+type Plan struct {
+	// Name identifies the plan (profile registry key, output label).
+	Name string `json:"name"`
+	// Description is a one-line human summary.
+	Description string `json:"description,omitempty"`
+	// Events fire in their listed order at their At times.
+	Events []Event `json:"events"`
+}
+
+// Validate checks every event for per-kind completeness and bounds.
+func (p *Plan) Validate() error {
+	if p.Name == "" {
+		return errors.New("chaos: plan needs a name")
+	}
+	for i := range p.Events {
+		if err := p.Events[i].validate(); err != nil {
+			return fmt.Errorf("chaos: plan %q event %d: %w", p.Name, i, err)
+		}
+	}
+	return nil
+}
+
+func (ev *Event) validate() error {
+	if ev.At.Duration < 0 {
+		return errors.New("negative at")
+	}
+	if ev.Link == "" {
+		return errors.New("missing link")
+	}
+	switch ev.Kind {
+	case KindLinkDown:
+		if ev.DownFor.Duration < 0 {
+			return errors.New("negative down_for")
+		}
+	case KindLinkUp:
+		// At + Link suffice.
+	case KindFlap:
+		if ev.Count <= 0 {
+			return errors.New("flap needs count > 0")
+		}
+		if ev.DownFor.Duration <= 0 {
+			return errors.New("flap needs down_for > 0")
+		}
+		if ev.Every.Duration <= ev.DownFor.Duration {
+			return errors.New("flap needs every > down_for")
+		}
+		if ev.Jitter < 0 || ev.Jitter >= 1 {
+			return errors.New("flap jitter must be in [0,1)")
+		}
+	case KindSetRate:
+		if ev.RateBps <= 0 {
+			return errors.New("set-rate needs rate_bps > 0")
+		}
+	case KindScaleRate:
+		if ev.Factor <= 0 {
+			return errors.New("scale-rate needs factor > 0")
+		}
+	case KindSetDelay:
+		if ev.Delay.Duration < 0 {
+			return errors.New("negative delay")
+		}
+	case KindSetBuffer:
+		if ev.BufferBytes <= 0 {
+			return errors.New("set-buffer needs buffer_bytes > 0")
+		}
+	case KindCorrupt:
+		if ev.Prob < 0 || ev.Prob > 1 {
+			return errors.New("corrupt prob must be in [0,1]")
+		}
+		if ev.For.Duration < 0 {
+			return errors.New("negative for")
+		}
+	case KindBurst:
+		if ev.RateBps <= 0 {
+			return errors.New("burst needs rate_bps > 0")
+		}
+		if ev.For.Duration <= 0 {
+			return errors.New("burst needs for > 0")
+		}
+		if ev.PacketBytes < 0 {
+			return errors.New("negative packet_bytes")
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", ev.Kind)
+	}
+	return nil
+}
+
+// ParsePlan decodes and validates a JSON plan. Unknown fields are
+// rejected so typos in hand-written plans fail loudly.
+func ParsePlan(data []byte) (*Plan, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("chaos: parse plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// LoadPlan reads and parses a plan file.
+func LoadPlan(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	return ParsePlan(data)
+}
+
+// Span returns the latest virtual time the plan can still be acting:
+// the maximum over events of At plus any window the event opens
+// (down_for, flap cycles, corruption/burst windows).
+func (p *Plan) Span() time.Duration {
+	var span time.Duration
+	for i := range p.Events {
+		ev := &p.Events[i]
+		end := ev.At.Duration
+		switch ev.Kind {
+		case KindLinkDown:
+			end += ev.DownFor.Duration
+		case KindFlap:
+			// Jitter can stretch each interval by up to (1+Jitter)×.
+			nominal := time.Duration(float64(ev.Every.Duration) * float64(ev.Count) * (1 + ev.Jitter))
+			end += nominal
+		case KindCorrupt, KindBurst:
+			end += ev.For.Duration
+		}
+		if end > span {
+			span = end
+		}
+	}
+	return span
+}
+
+// FaultWindow returns the earliest event time and the plan's Span — the
+// interval callers should treat as "under fault" when computing
+// recovery metrics. ok is false for an empty plan.
+func (p *Plan) FaultWindow() (start, end time.Duration, ok bool) {
+	if len(p.Events) == 0 {
+		return 0, 0, false
+	}
+	start = p.Events[0].At.Duration
+	for i := range p.Events {
+		if at := p.Events[i].At.Duration; at < start {
+			start = at
+		}
+	}
+	return start, p.Span(), true
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"time"
 
+	"dtdctcp/internal/chaos"
 	"dtdctcp/internal/netsim"
 	"dtdctcp/internal/runner"
 	"dtdctcp/internal/sim"
@@ -42,8 +43,15 @@ type DumbbellConfig struct {
 	// Seed drives all randomness (start jitter).
 	Seed int64
 	// TraceTo, when set, streams the bottleneck port's per-packet
-	// events (enqueue/dequeue/mark/drop) as JSON Lines.
+	// events (enqueue/dequeue/mark/drop, plus fault events when Chaos
+	// is set) as JSON Lines.
 	TraceTo io.Writer
+	// Chaos, when set, applies the fault-injection plan to the running
+	// topology. Plans may target the link names "bottleneck" (switch →
+	// receiver), "ack" (receiver → switch), and "access<i>" (sender i →
+	// switch). Event times are absolute virtual times, so plans should
+	// account for Warmup.
+	Chaos *chaos.Plan
 }
 
 func (c DumbbellConfig) validate() error {
@@ -108,6 +116,14 @@ type DumbbellResult struct {
 	// Events is the number of simulator events processed, for
 	// events-per-second throughput accounting in benchmarks.
 	Events uint64
+
+	// FaultDrops counts bottleneck packets lost to chaos faults (down
+	// link or corruption) over the whole run.
+	FaultDrops uint64
+	// Recovery holds fault-recovery metrics of the queue trace around
+	// the chaos plan's fault window; nil unless Chaos was set and the
+	// queue series was sampled.
+	Recovery *stats.Recovery
 }
 
 // RunDumbbell executes the scenario to completion and aggregates results.
@@ -161,6 +177,21 @@ func RunDumbbell(cfg DumbbellConfig) (*DumbbellResult, error) {
 		tracer = trace.NewRecorder(cfg.TraceTo)
 		tracer.PacketSize = pktSize
 		bneck.SetTracer(tracer)
+	}
+
+	if cfg.Chaos != nil {
+		ctl := chaos.NewController(nw, cfg.Chaos)
+		ctl.BindLink("bottleneck", bneck)
+		ctl.BindLink("ack", rcv.Uplink())
+		for i, snd := range senders {
+			ctl.BindLink(fmt.Sprintf("access%d", i), snd.Uplink())
+		}
+		if tracer != nil {
+			ctl.SetTrace(tracer)
+		}
+		if err := ctl.Apply(); err != nil {
+			return nil, err
+		}
 	}
 
 	flows := workload.StartLongLived(engine, workload.LongLivedConfig{
@@ -249,6 +280,19 @@ func RunDumbbell(cfg DumbbellConfig) (*DumbbellResult, error) {
 		period, conf := stats.EstimatePeriod(steady)
 		res.OscPeriod = time.Duration(period * float64(time.Second))
 		res.OscConfidence = conf
+	}
+	if cfg.Chaos != nil {
+		st := bneck.Stats()
+		res.FaultDrops = st.DroppedLinkDown + st.DroppedCorrupt
+		if res.QueueSeries != nil {
+			if fs, fe, ok := cfg.Chaos.FaultWindow(); ok {
+				rec := stats.MeasureRecovery(res.QueueSeries, stats.RecoveryConfig{
+					FaultStart: fs.Seconds(),
+					FaultEnd:   fe.Seconds(),
+				})
+				res.Recovery = &rec
+			}
+		}
 	}
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"dtdctcp/internal/chaos"
 	"dtdctcp/internal/netsim"
 	"dtdctcp/internal/runner"
 	"dtdctcp/internal/sim"
@@ -54,6 +55,13 @@ type TestbedConfig struct {
 	FreshConnections bool
 	// Seed drives randomness.
 	Seed int64
+
+	// Chaos, when set, applies a fault-injection plan to the topology.
+	// Plans may target "bottleneck" (core switch → aggregator),
+	// "agg-uplink" (aggregator → core switch), and "worker<i>"
+	// (worker i → its edge switch). Event times are absolute virtual
+	// times within the query run.
+	Chaos *chaos.Plan
 }
 
 // DefaultTestbed returns the paper's testbed parameters for a protocol.
@@ -128,11 +136,23 @@ func buildTestbed(cfg TestbedConfig) (*testbed, error) {
 	if err := nw.ComputeRoutes(); err != nil {
 		return nil, err
 	}
+	bneck := core.PortTo(agg.ID())
+	if cfg.Chaos != nil {
+		ctl := chaos.NewController(nw, cfg.Chaos)
+		ctl.BindLink("bottleneck", bneck)
+		ctl.BindLink("agg-uplink", agg.Uplink())
+		for i, w := range workers {
+			ctl.BindLink(fmt.Sprintf("worker%d", i), w.Uplink())
+		}
+		if err := ctl.Apply(); err != nil {
+			return nil, err
+		}
+	}
 	return &testbed{
 		engine:     engine,
 		aggregator: agg,
 		workers:    workers,
-		bneck:      core.PortTo(agg.ID()),
+		bneck:      bneck,
 	}, nil
 }
 

@@ -32,6 +32,44 @@ type PortTracer interface {
 	PacketDropped(now sim.Time, pkt *Packet, qlenBytes int, overflow bool)
 }
 
+// FaultKind classifies a fault-induced packet loss (see FaultTracer).
+type FaultKind int
+
+// Fault-induced loss kinds.
+const (
+	// FaultCorrupt is a packet corrupted on the wire after serialization
+	// (modelled as loss: the receiver would fail the checksum).
+	FaultCorrupt FaultKind = iota
+	// FaultLinkDown is a packet lost to a link in the down state: an
+	// arrival while down, a flushed queue entry, or the packet whose
+	// serialization the outage cut mid-transmission.
+	FaultLinkDown
+)
+
+// String names the fault kind for traces and test output.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultLinkDown:
+		return "link-down"
+	default:
+		return "unknown"
+	}
+}
+
+// FaultTracer is an optional extension of PortTracer for ports under
+// fault injection: implementations additionally observe fault-induced
+// losses and link state transitions. A PortTracer that does not implement
+// it still sees fault losses through PacketDropped.
+type FaultTracer interface {
+	// PacketFaulted fires for packets lost to a fault rather than a
+	// queue decision.
+	PacketFaulted(now sim.Time, pkt *Packet, qlenBytes int, kind FaultKind)
+	// LinkStateChanged fires after the port's link goes down or returns.
+	LinkStateChanged(now sim.Time, up bool, qlenBytes int)
+}
+
 // PortStats counts per-port events.
 type PortStats struct {
 	// Enqueued and Dequeued count packets accepted into and transmitted
@@ -45,6 +83,12 @@ type PortStats struct {
 	// DroppedPolicy counts packets dropped by the AQM policy (RED in
 	// drop mode).
 	DroppedPolicy uint64
+	// DroppedLinkDown counts packets lost to a down link: arrivals during
+	// an outage, flushed queue entries, and serializations cut mid-packet.
+	DroppedLinkDown uint64
+	// DroppedCorrupt counts packets corrupted (and hence lost) on the
+	// wire by SetCorruptProb.
+	DroppedCorrupt uint64
 	// BytesSent is the total on-wire bytes transmitted.
 	BytesSent uint64
 }
@@ -71,6 +115,14 @@ type Port struct {
 	stats    PortStats
 	monitor  QueueMonitor
 	tracer   PortTracer
+
+	// Runtime fault state (see SetDown / SetCorruptProb). txPkt and txRef
+	// track the packet currently in serialization so a link-down can cut
+	// it mid-transmission.
+	down        bool
+	corruptProb float64
+	txPkt       *Packet
+	txRef       sim.EventRef
 
 	// txDoneFn and deliverFn are the transmit chain's event callbacks,
 	// built once at construction. Scheduling them through ScheduleArg
@@ -109,9 +161,18 @@ func newPort(net *Network, cfg PortConfig, peer Node) *Port {
 	}
 	p.deliverFn = func(arg any) { p.peer.Receive(arg.(*Packet)) }
 	p.txDoneFn = func(arg any) {
-		// Arrival at the peer after propagation; transmission of the
-		// next packet can begin immediately.
-		p.engine.AfterArg(p.delay, p.deliverFn, arg)
+		pkt := arg.(*Packet)
+		p.txPkt = nil
+		p.txRef = sim.EventRef{}
+		// Wire corruption is decided once serialization completes: the
+		// packet occupied the link but never arrives intact.
+		if p.corruptProb > 0 && p.engine.Rand().Float64() < p.corruptProb {
+			p.dropFault(pkt, FaultCorrupt)
+		} else {
+			// Arrival at the peer after propagation; transmission of
+			// the next packet can begin immediately.
+			p.engine.AfterArg(p.delay, p.deliverFn, pkt)
+		}
 		p.transmitNext()
 	}
 	return p
@@ -138,8 +199,121 @@ func (p *Port) Policy() aqm.Policy { return p.policy }
 // Rate returns the link speed.
 func (p *Port) Rate() Rate { return p.rate }
 
+// Delay returns the one-way propagation delay.
+func (p *Port) Delay() time.Duration { return p.delay }
+
+// Buffer returns the queue capacity in bytes.
+func (p *Port) Buffer() int { return p.buffer }
+
+// Down reports whether the link is administratively down.
+func (p *Port) Down() bool { return p.down }
+
+// CorruptProb returns the per-packet wire corruption probability.
+func (p *Port) CorruptProb() float64 { return p.corruptProb }
+
 // Peer returns the node at the far end of the link.
 func (p *Port) Peer() Node { return p.peer }
+
+// SetRate changes the link speed at the current instant. The packet
+// currently in serialization keeps its old timing; every later packet
+// clocks out at the new rate. Non-positive rates are ignored.
+func (p *Port) SetRate(r Rate) {
+	if r > 0 {
+		p.rate = r
+	}
+}
+
+// SetDelay changes the propagation delay. Packets already launched keep
+// their old arrival times (the wire does not reorder); negative delays
+// are ignored.
+func (p *Port) SetDelay(d time.Duration) {
+	if d >= 0 {
+		p.delay = d
+	}
+}
+
+// SetBuffer resizes the queue capacity. Shrinking below the current
+// occupancy drops packets from the tail of the queue (the most recent
+// arrivals — what a switch reconfiguring its buffer carve-up discards)
+// until the occupancy fits; those count as overflow drops. Non-positive
+// sizes are ignored.
+func (p *Port) SetBuffer(bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	p.buffer = bytes
+	if p.queueLen <= p.buffer {
+		return
+	}
+	for p.queueLen > p.buffer && p.queue.len() > 0 {
+		pkt := p.queue.popTail()
+		p.queueLen -= pkt.Size
+		p.policy.OnDeparture(p.engine.Now(), p.queueLen)
+		p.drop(pkt, true)
+	}
+	p.checkConservation()
+	p.notifyMonitor()
+}
+
+// SetCorruptProb sets the probability that a packet is corrupted (and so
+// lost) after serialization. Randomness comes from the engine's seeded
+// source, so corruption is a pure function of the run seed. The value is
+// clamped to [0, 1].
+func (p *Port) SetCorruptProb(prob float64) {
+	switch {
+	case prob < 0:
+		prob = 0
+	case prob > 1:
+		prob = 1
+	}
+	p.corruptProb = prob
+}
+
+// SetDown changes the link's administrative state. Going down always cuts
+// the packet currently in serialization (it is lost mid-transmission);
+// flush additionally discards every queued packet, while flush=false keeps
+// the queue intact to drain when the link returns. While down, arriving
+// packets are dropped. Coming up resumes transmission of whatever is
+// queued; flush is ignored on the way up.
+func (p *Port) SetDown(down, flush bool) {
+	if down == p.down {
+		if down && flush {
+			p.flushQueue()
+		}
+		return
+	}
+	p.down = down
+	if down {
+		p.txRef.Cancel()
+		p.txRef = sim.EventRef{}
+		if p.txPkt != nil {
+			p.dropFault(p.txPkt, FaultLinkDown)
+			p.txPkt = nil
+		}
+		p.busy = false
+		if flush {
+			p.flushQueue()
+		}
+	}
+	if ft, ok := p.tracer.(FaultTracer); ok {
+		ft.LinkStateChanged(p.engine.Now(), !down, p.queueLen)
+	}
+	if !down && p.queue.len() > 0 {
+		p.transmitNext()
+	}
+}
+
+// flushQueue discards every queued packet as a link-down loss.
+func (p *Port) flushQueue() {
+	for p.queue.len() > 0 {
+		pkt := p.queue.pop()
+		p.queueLen -= pkt.Size
+		p.policy.OnDeparture(p.engine.Now(), p.queueLen)
+		p.dropFault(pkt, FaultLinkDown)
+	}
+	p.checkConservation()
+	p.notifyMonitor()
+}
 
 // drop discards a packet: count, trace, recycle.
 func (p *Port) drop(pkt *Packet, overflow bool) {
@@ -154,10 +328,32 @@ func (p *Port) drop(pkt *Packet, overflow bool) {
 	p.net.FreePacket(pkt)
 }
 
+// dropFault discards a packet lost to a fault (corruption, dead link):
+// count, trace — through FaultTracer when the tracer implements it, as a
+// policy drop otherwise — and recycle to the network's free list.
+func (p *Port) dropFault(pkt *Packet, kind FaultKind) {
+	switch kind {
+	case FaultCorrupt:
+		p.stats.DroppedCorrupt++
+	case FaultLinkDown:
+		p.stats.DroppedLinkDown++
+	}
+	if ft, ok := p.tracer.(FaultTracer); ok {
+		ft.PacketFaulted(p.engine.Now(), pkt, p.queueLen, kind)
+	} else if p.tracer != nil {
+		p.tracer.PacketDropped(p.engine.Now(), pkt, p.queueLen, false)
+	}
+	p.net.FreePacket(pkt)
+}
+
 // Send offers a packet to the port. The AQM policy is consulted with the
 // occupancy at arrival; buffer overflow always drops. A dropped packet is
 // recycled here — the caller must not touch it after Send returns.
 func (p *Port) Send(pkt *Packet) {
+	if p.down {
+		p.dropFault(pkt, FaultLinkDown)
+		return
+	}
 	verdict := p.policy.OnArrival(p.engine.Now(), p.queueLen, pkt.Size)
 	if verdict == aqm.Drop {
 		p.drop(pkt, false)
@@ -202,7 +398,7 @@ func (p *Port) Send(pkt *Packet) {
 func (p *Port) transmitNext() {
 	var pkt *Packet
 	for {
-		if p.queue.len() == 0 {
+		if p.down || p.queue.len() == 0 {
 			p.busy = false
 			return
 		}
@@ -245,7 +441,8 @@ func (p *Port) transmitNext() {
 	}
 	p.notifyMonitor()
 
-	p.engine.AfterArg(p.rate.Serialization(pkt.Size), p.txDoneFn, pkt)
+	p.txPkt = pkt
+	p.txRef = p.engine.AfterArg(p.rate.Serialization(pkt.Size), p.txDoneFn, pkt)
 }
 
 // markSubstitutesDrop reports whether the policy's marks stand in for

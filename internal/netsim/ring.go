@@ -32,6 +32,17 @@ func (r *pktRing) pop() *Packet {
 	return p
 }
 
+// popTail removes and returns the most recently pushed element. It is the
+// other end of the FIFO, used when a buffer resize must discard the
+// newest arrivals first.
+func (r *pktRing) popTail() *Packet {
+	r.n--
+	i := (r.head + r.n) & (len(r.buf) - 1)
+	p := r.buf[i]
+	r.buf[i] = nil
+	return p
+}
+
 // at returns the i-th element in FIFO order without removing it.
 func (r *pktRing) at(i int) *Packet {
 	return r.buf[(r.head+i)&(len(r.buf)-1)]

@@ -3,6 +3,26 @@
 // needs: attach a Recorder to a port (it implements netsim.PortTracer)
 // and every enqueue, dequeue, CE mark, and drop becomes one JSON object
 // with the virtual timestamp.
+//
+// # Fault and chaos events
+//
+// The Recorder also implements netsim.FaultTracer, so ports mutated by
+// the chaos layer (internal/chaos) report their fault events in the same
+// JSONL stream:
+//
+//   - "link-down" / "link-up": the port's link changed state; qlen is
+//     the queue occupancy at the transition (nonzero on link-down means
+//     packets are being held in drain mode, or were just flushed).
+//   - "corrupt": a packet was lost to probabilistic corruption after
+//     serialization (it never reaches the far end).
+//   - "drop-link-down": a packet lost to a down link — an arrival at a
+//     down port, an in-flight transmission cut by the outage, or a
+//     queued packet discarded by a flush.
+//   - "burst-start" / "burst-stop": a chaos background-traffic injector
+//     switched on or off; name carries the injector's label.
+//
+// All fault events carry the usual packet fields when a packet is
+// involved; link-state and burst events are link-scoped and carry none.
 package trace
 
 import (
@@ -33,6 +53,19 @@ const (
 	KindDropPolicy Kind = "drop-policy"
 	// KindCustom carries caller-defined samples (cwnd, α, ...).
 	KindCustom Kind = "custom"
+	// KindLinkDown is a port's link going down (chaos layer).
+	KindLinkDown Kind = "link-down"
+	// KindLinkUp is a port's link coming back up (chaos layer).
+	KindLinkUp Kind = "link-up"
+	// KindCorrupt is a packet lost to probabilistic corruption.
+	KindCorrupt Kind = "corrupt"
+	// KindDropLinkDown is a packet lost to a down link (arrival, cut
+	// in-flight transmission, or flushed queue slot).
+	KindDropLinkDown Kind = "drop-link-down"
+	// KindBurstStart is a chaos background-traffic injector starting.
+	KindBurstStart Kind = "burst-start"
+	// KindBurstStop is a chaos background-traffic injector stopping.
+	KindBurstStop Kind = "burst-stop"
 )
 
 // Event is one JSONL record.
@@ -147,6 +180,42 @@ func (r *Recorder) PacketDropped(now sim.Time, pkt *netsim.Packet, qlenBytes int
 	r.Emit(ev)
 }
 
+// PacketFaulted implements netsim.FaultTracer: a packet lost to a chaos
+// fault (corruption or a down link).
+func (r *Recorder) PacketFaulted(now sim.Time, pkt *netsim.Packet, qlenBytes int, kind netsim.FaultKind) {
+	ev := r.packetEvent(now, pkt, qlenBytes)
+	switch kind {
+	case netsim.FaultCorrupt:
+		ev.Kind = KindCorrupt
+	default:
+		ev.Kind = KindDropLinkDown
+	}
+	r.Emit(ev)
+}
+
+// LinkStateChanged implements netsim.FaultTracer: the traced port's link
+// went down or came back up.
+func (r *Recorder) LinkStateChanged(now sim.Time, up bool, qlenBytes int) {
+	q := float64(qlenBytes)
+	if r.PacketSize > 0 {
+		q /= float64(r.PacketSize)
+	}
+	kind := KindLinkDown
+	if up {
+		kind = KindLinkUp
+	}
+	r.Emit(Event{T: now.Seconds(), Kind: kind, QueuePkts: q})
+}
+
+// Burst records a chaos background-traffic injector switching on or off.
+func (r *Recorder) Burst(now sim.Time, start bool, name string) {
+	kind := KindBurstStop
+	if start {
+		kind = KindBurstStart
+	}
+	r.Emit(Event{T: now.Seconds(), Kind: kind, Name: name})
+}
+
 func (r *Recorder) packetEvent(now sim.Time, pkt *netsim.Packet, qlenBytes int) Event {
 	q := float64(qlenBytes)
 	if r.PacketSize > 0 {
@@ -166,4 +235,7 @@ func (r *Recorder) packetEvent(now sim.Time, pkt *netsim.Packet, qlenBytes int) 
 	return ev
 }
 
-var _ netsim.PortTracer = (*Recorder)(nil)
+var (
+	_ netsim.PortTracer  = (*Recorder)(nil)
+	_ netsim.FaultTracer = (*Recorder)(nil)
+)
