@@ -1,0 +1,136 @@
+// Command dtconform runs the cross-model conformance grid: matched
+// packet-simulator, fluid-model and describing-function scenarios whose
+// steady-state queue, oscillation magnitude and limit-cycle period must
+// agree within the tolerances declared in internal/conform. It is the
+// CLI face of the suite CI enforces via `go test ./internal/conform`.
+//
+// Usage:
+//
+//	dtconform                 # full grid, human-readable table
+//	dtconform -grid quick     # four-point smoke subset (CI)
+//	dtconform -workers 8      # cap concurrent scenario runs
+//	dtconform -json           # machine-readable reports
+//	dtconform -digests        # also print the golden-run digests
+//
+// The exit status is 1 when any applicable check fails, so the command
+// slots directly into CI or a pre-merge hook.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"dtdctcp/internal/conform"
+)
+
+func main() {
+	grid := flag.String("grid", "full", `scenario set: "full" or "quick"`)
+	workers := flag.Int("workers", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit reports as JSON instead of a table")
+	digests := flag.Bool("digests", false, "also compute and print the golden-run digests")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dtconform [-grid full|quick] [-workers N] [-json] [-digests]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	ok, err := run(os.Stdout, *grid, *workers, *jsonOut, *digests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtconform:", err)
+		os.Exit(2)
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "dtconform: conformance FAILED")
+		os.Exit(1)
+	}
+}
+
+// output is the machine-readable shape of one invocation.
+type output struct {
+	Reports []conform.Report `json:"reports"`
+	Digests []conform.Digest `json:"digests,omitempty"`
+	Pass    bool             `json:"pass"`
+}
+
+// run executes the selected grid and writes the report; it returns
+// whether every applicable check passed.
+func run(w io.Writer, grid string, workers int, jsonOut, digests bool) (bool, error) {
+	var scenarios []conform.Scenario
+	switch grid {
+	case "full":
+		scenarios = conform.Grid()
+	case "quick":
+		scenarios = conform.QuickGrid()
+	default:
+		return false, fmt.Errorf("unknown grid %q (want full or quick)", grid)
+	}
+
+	reports, err := conform.RunGrid(context.Background(), scenarios, workers)
+	if err != nil {
+		return false, err
+	}
+	out := output{Reports: reports, Pass: true}
+	for _, r := range reports {
+		if !r.Pass() {
+			out.Pass = false
+		}
+	}
+	if digests {
+		out.Digests, err = conform.DigestGrid(context.Background(), conform.GoldenScenarios(), workers)
+		if err != nil {
+			return false, err
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return out.Pass, enc.Encode(out)
+	}
+	return out.Pass, writeTable(w, out)
+}
+
+func writeTable(w io.Writer, out output) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tcheck\tsim\tref\tverdict\tdetail")
+	for _, r := range out.Reports {
+		for _, c := range r.Checks {
+			verdict := "pass"
+			detail := c.Detail
+			switch {
+			case c.Skipped != "":
+				verdict = "skip"
+				detail = c.Skipped
+			case !c.Pass:
+				verdict = "FAIL"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.4g\t%.4g\t%s\t%s\n",
+				r.Scenario, c.Name, c.Got, c.Ref, verdict, detail)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if len(out.Digests) > 0 {
+		fmt.Fprintln(w, "\ngolden digests:")
+		dw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(dw, "scenario\tevents\tmarks\tqueue_hash\tstats_hash")
+		for _, d := range out.Digests {
+			fmt.Fprintf(dw, "%s\t%d\t%d\t%s\t%s\n", d.Scenario, d.Events, d.Marks, d.QueueHash, d.StatsHash)
+		}
+		if err := dw.Flush(); err != nil {
+			return err
+		}
+	}
+	status := "PASS"
+	if !out.Pass {
+		status = "FAIL"
+	}
+	_, err := fmt.Fprintf(w, "\nconformance: %s (%d scenarios)\n", status, len(out.Reports))
+	return err
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The quick grid must pass end to end and render every check row.
+func TestQuickGridTable(t *testing.T) {
+	var buf bytes.Buffer
+	ok, err := run(&buf, "quick", 0, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("quick grid failed:\n%s", buf.String())
+	}
+	text := buf.String()
+	if !strings.Contains(text, "conformance: PASS (4 scenarios)") {
+		t.Fatalf("missing summary:\n%s", text)
+	}
+	for _, want := range []string{"dctcp-k40-n20", "dt3050-n80", "queue-mean/sim-vs-fluid", "period/sim-vs-df"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("table missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "FAIL") {
+		t.Fatalf("unexpected failing row:\n%s", text)
+	}
+}
+
+// -json output must parse back into reports with the same verdict, and
+// -digests must attach the golden fingerprints.
+func TestJSONWithDigests(t *testing.T) {
+	var buf bytes.Buffer
+	ok, err := run(&buf, "quick", 2, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("quick grid failed")
+	}
+	var out output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if !out.Pass || len(out.Reports) != 4 {
+		t.Fatalf("want 4 passing reports, got pass=%v n=%d", out.Pass, len(out.Reports))
+	}
+	if len(out.Digests) == 0 {
+		t.Fatal("missing digests")
+	}
+	for _, d := range out.Digests {
+		if d.QueueHash == "" || d.Events == 0 {
+			t.Fatalf("empty digest: %+v", d)
+		}
+	}
+}
+
+func TestUnknownGrid(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run(&buf, "bogus", 0, false, false); err == nil {
+		t.Fatal("unknown grid name must error")
+	}
+}

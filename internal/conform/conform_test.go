@@ -1,0 +1,231 @@
+package conform
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"dtdctcp/internal/core"
+)
+
+// The headline conformance assertion: every scenario of the full grid
+// must pass every applicable cross-machinery check within its declared
+// tolerance band. Each scenario runs as a subtest so a regression names
+// the exact grid point and comparison that drifted.
+func TestGridConformance(t *testing.T) {
+	reps, err := RunGrid(context.Background(), Grid(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := 0
+	for _, rep := range reps {
+		rep := rep
+		t.Run(rep.Scenario, func(t *testing.T) {
+			ran := 0
+			for _, c := range rep.Checks {
+				if c.Skipped != "" {
+					t.Logf("%-28s skipped: %s", c.Name, c.Skipped)
+					continue
+				}
+				ran++
+				if !c.Pass {
+					t.Errorf("%s: sim=%.4g ref=%.4g — %s", c.Name, c.Got, c.Ref, c.Detail)
+				} else {
+					t.Logf("%-28s %s", c.Name, c.Detail)
+				}
+			}
+			// Every grid point must contribute real comparisons: at
+			// minimum the queue-mean check plus one more. A scenario
+			// whose checks all skip would pass vacuously.
+			if ran < 2 {
+				t.Errorf("only %d applicable check(s); the grid point validates nothing", ran)
+			}
+		})
+		for _, c := range rep.Checks {
+			if c.Skipped == "" {
+				applied++
+			}
+		}
+	}
+	// The grid as a whole must keep exercising all three machineries.
+	if applied < 40 {
+		t.Errorf("only %d applicable checks across the grid, want ≥ 40", applied)
+	}
+}
+
+// Specific regimes must keep their strongest checks applicable: the
+// oscillatory points validate the describing-function cycle against the
+// simulator, and the fluid relay regime validates the period estimator
+// across machineries. If a future change silently pushes a scenario out
+// of its regime (e.g. the DF verdict flips to stable), the conformance
+// suite must fail loudly rather than skip quietly.
+func TestGridRegimesStayCheckable(t *testing.T) {
+	mustApply := map[string][]string{
+		"dctcp-k40-n40":        {"queue-mean/sim-vs-fluid", "queue-std/sim-vs-fluid", "period/sim-vs-fluid", "period/sim-vs-df", "amplitude/sim-vs-df"},
+		"dctcp-k40-n80":        {"queue-mean/sim-vs-fluid", "period/sim-vs-df", "amplitude/sim-vs-df"},
+		"dt3050-n80":           {"queue-mean/sim-vs-fluid", "period/sim-vs-df", "amplitude/sim-vs-df"},
+		"dt3050-n40":           {"queue-mean/sim-vs-fluid", "period/sim-vs-fluid"},
+		"dctcp-k40-n40-rtt200": {"period/sim-vs-fluid", "period/sim-vs-df"},
+	}
+	byName := map[string]Scenario{}
+	for _, s := range Grid() {
+		byName[s.Name] = s
+	}
+	for name, wantChecks := range mustApply {
+		s, ok := byName[name]
+		if !ok {
+			t.Fatalf("grid point %s disappeared from Grid()", name)
+		}
+		rep, err := RunScenario(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]Check{}
+		for _, c := range rep.Checks {
+			got[c.Name] = c
+		}
+		for _, cn := range wantChecks {
+			c, ok := got[cn]
+			if !ok {
+				t.Errorf("%s: check %s missing", name, cn)
+				continue
+			}
+			if c.Skipped != "" {
+				t.Errorf("%s: check %s skipped (%s), must stay applicable", name, cn, c.Skipped)
+			}
+		}
+	}
+}
+
+// The quick grid is a strict subset of the full grid, tolerances
+// included, so the CI smoke run can never drift from what the full
+// suite enforces.
+func TestQuickGridIsSubsetOfGrid(t *testing.T) {
+	full := map[string]Scenario{}
+	for _, s := range Grid() {
+		full[s.Name] = s
+	}
+	quick := QuickGrid()
+	if len(quick) == 0 {
+		t.Fatal("empty quick grid")
+	}
+	for _, q := range quick {
+		f, ok := full[q.Name]
+		if !ok {
+			t.Fatalf("quick scenario %s not in the full grid", q.Name)
+		}
+		if f.Tol != q.Tol || f.Flows != q.Flows || f.RTT != q.RTT {
+			t.Fatalf("quick scenario %s differs from the grid's: %+v vs %+v", q.Name, q, f)
+		}
+	}
+}
+
+func TestGridNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Grid() {
+		if seen[s.Name] {
+			t.Fatalf("duplicate grid scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+// Unit coverage of the check evaluator: pass, fail and skip paths, and
+// the Report helpers built on them.
+func TestApplyChecksVerdicts(t *testing.T) {
+	tol := DefaultTolerances()
+	obs := Observation{
+		SimQueueMean: 40, FluidQueueMean: 45,
+		SimQueueStd: 20, FluidQueueStd: 15,
+		SimPeriod: 700 * time.Microsecond, SimConfidence: 0.9,
+		FluidPeriod: 1 * time.Millisecond, FluidConfidence: 0.9,
+		DFStable: false, DFAmplitude: 50, DFPeriod: 800 * time.Microsecond,
+	}
+	rep := Report{Scenario: "unit", Checks: applyChecks(tol, obs)}
+	if !rep.Pass() {
+		t.Fatalf("healthy observation must pass, failures: %+v", rep.Failures())
+	}
+	if len(rep.Checks) != 5 {
+		t.Fatalf("want 5 checks, got %d", len(rep.Checks))
+	}
+	for _, c := range rep.Checks {
+		if c.Skipped != "" {
+			t.Fatalf("no check should skip here: %+v", c)
+		}
+	}
+
+	// A wildly diverged queue mean fails exactly the mean check.
+	bad := obs
+	bad.SimQueueMean = 400
+	rep = Report{Checks: applyChecks(tol, bad)}
+	if rep.Pass() {
+		t.Fatal("diverged mean must fail")
+	}
+	fails := rep.Failures()
+	if len(fails) != 1 || fails[0].Name != "queue-mean/sim-vs-fluid" {
+		t.Fatalf("want exactly the mean check to fail, got %+v", fails)
+	}
+
+	// Low sim confidence turns every period/amplitude comparison into a
+	// documented skip, never a silent pass.
+	quiet := obs
+	quiet.SimConfidence = 0.01
+	rep = Report{Checks: applyChecks(tol, quiet)}
+	skips := 0
+	for _, c := range rep.Checks {
+		if c.Skipped != "" {
+			if !strings.Contains(c.Skipped, "confidence") {
+				t.Fatalf("skip reason must name the confidence: %+v", c)
+			}
+			skips++
+		}
+	}
+	if skips != 3 {
+		t.Fatalf("want period/sim-vs-fluid, period/sim-vs-df and amplitude/sim-vs-df skipped, got %d skips", skips)
+	}
+	if !rep.Pass() {
+		t.Fatal("skipped checks must not fail the report")
+	}
+
+	// A stable DF verdict skips the cycle comparisons.
+	stable := obs
+	stable.DFStable = true
+	rep = Report{Checks: applyChecks(tol, stable)}
+	for _, c := range rep.Checks {
+		if (c.Name == "period/sim-vs-df" || c.Name == "amplitude/sim-vs-df") && c.Skipped == "" {
+			t.Fatalf("DF-stable scenario must skip %s", c.Name)
+		}
+	}
+}
+
+// Scenarios without an ECN marker cannot be conformance-checked: the
+// fluid model and the describing function need a marking law.
+func TestRunScenarioRejectsUnmarkedProtocol(t *testing.T) {
+	s := paperScenario("reno", core.Reno(), 10)
+	s.Duration = 2 * time.Millisecond
+	s.Warmup = time.Millisecond
+	if _, err := RunScenario(s); err == nil {
+		t.Fatal("Reno has no marker; RunScenario must error")
+	}
+}
+
+// The two analysis parameterizations must keep their deliberate units:
+// physical packets for the fluid model, the paper's 1000-bit packets for
+// the describing function (DESIGN.md, judgment call 1).
+func TestParameterUnits(t *testing.T) {
+	s := paperScenario("units", core.DCTCP(40, 1.0/16), 10)
+	fl := s.FluidParams()
+	df := s.DFParams()
+	wantFluid := 10e9 / 8 / 1500 // ≈ 833333 pkts/s
+	if diff := fl.CapacityPktsPerSec - wantFluid; diff > 1 || diff < -1 {
+		t.Fatalf("fluid C = %v, want ≈ %v", fl.CapacityPktsPerSec, wantFluid)
+	}
+	if df.CapacityPktsPerSec != 1e7 {
+		t.Fatalf("DF C = %v, want 1e7 (paper unit)", df.CapacityPktsPerSec)
+	}
+	paper := core.PaperAnalysisParams()
+	if df.CapacityPktsPerSec != paper.CapacityPktsPerSec || df.RTT != paper.RTT || df.G != paper.G {
+		t.Fatalf("DF params %+v must match PaperAnalysisParams %+v at the paper's base point", df, paper)
+	}
+}

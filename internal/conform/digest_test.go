@@ -1,0 +1,70 @@
+package conform
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dtdctcp/internal/core"
+)
+
+func shortScenario(seed int64) Scenario {
+	s := paperScenario("digest-unit", core.DCTCP(40, 1.0/16), 8)
+	s.Warmup = 2 * time.Millisecond
+	s.Duration = 6 * time.Millisecond
+	s.Seed = seed
+	return s
+}
+
+// A digest is a pure function of the scenario: identical for identical
+// configurations, different as soon as the seed (hence every RNG draw)
+// changes.
+func TestDigestSensitivity(t *testing.T) {
+	a, err := DigestRun(shortScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DigestRun(shortScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same scenario, different digests:\n%+v\n%+v", a, b)
+	}
+	c, err := DigestRun(shortScenario(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.QueueHash == c.QueueHash && a.FlowHash == c.FlowHash && a.StatsHash == c.StatsHash {
+		t.Fatalf("different seeds produced identical hashes: %+v", c)
+	}
+	// The digest must carry real content, not zero values.
+	if a.Events == 0 || a.Marks == 0 || a.AckedBytes == 0 || a.QueueSamples == 0 {
+		t.Fatalf("empty digest fields: %+v", a)
+	}
+	if a.QueueHash == "" || a.AlphaHash == "" || a.FlowHash == "" || a.StatsHash == "" {
+		t.Fatalf("missing hashes: %+v", a)
+	}
+}
+
+// Golden files survive a write/read round trip exactly.
+func TestGoldenFileRoundTrip(t *testing.T) {
+	d, err := DigestRun(shortScenario(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rt.json")
+	if err := WriteGoldenFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGoldenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d {
+		t.Fatalf("round trip drift:\n%+v\n%+v", got, d)
+	}
+	if _, err := ReadGoldenFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing golden file must error")
+	}
+}

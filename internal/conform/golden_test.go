@@ -1,0 +1,106 @@
+package conform
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the committed digests:
+//
+//	go test ./internal/conform -run Golden -update
+//
+// Run it only after a deliberate simulator change; the diff under
+// testdata/golden/ is the reviewable record of what moved. Re-running
+// without code changes must be diff-clean (TestGoldenDigests passes).
+var update = flag.Bool("update", false, "rewrite testdata/golden digests")
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".json")
+}
+
+// TestGoldenDigests pins every golden scenario's digest byte-for-byte
+// against the committed file.
+func TestGoldenDigests(t *testing.T) {
+	for _, s := range GoldenScenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			got, err := DigestRun(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := goldenPath(s.Name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := WriteGoldenFile(path, got); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			want, err := ReadGoldenFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with: go test ./internal/conform -run Golden -update)", err)
+			}
+			if got != want {
+				t.Errorf("digest drifted from %s:\n got: %+v\nwant: %+v\nIf the simulator change is deliberate, regenerate with -update and commit the diff.",
+					path, got, want)
+			}
+		})
+	}
+}
+
+// The digest of a run must not depend on how the grid was scheduled:
+// workers=1 and workers=8 must produce identical digests, and so must a
+// repeated run — the determinism contract the golden suite rests on.
+func TestGoldenDigestsWorkerAndRepeatStable(t *testing.T) {
+	scenarios := GoldenScenarios()[:3] // three runs are enough to catch scheduling leaks
+	ctx := context.Background()
+	w1, err := DigestGrid(ctx, scenarios, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w8, err := DigestGrid(ctx, scenarios, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := DigestGrid(ctx, scenarios, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scenarios {
+		if w1[i] != w8[i] {
+			t.Errorf("%s: digest differs between workers=1 and workers=8:\n%+v\n%+v",
+				scenarios[i].Name, w1[i], w8[i])
+		}
+		if w1[i] != again[i] {
+			t.Errorf("%s: digest differs between repeated runs:\n%+v\n%+v",
+				scenarios[i].Name, w1[i], again[i])
+		}
+	}
+}
+
+// Every committed golden file must correspond to a live scenario, so a
+// renamed scenario cannot leave a stale file silently passing nothing.
+func TestGoldenFilesMatchScenarios(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[string]bool{}
+	for _, s := range GoldenScenarios() {
+		live[s.Name+".json"] = true
+	}
+	for _, e := range entries {
+		if !live[e.Name()] {
+			t.Errorf("stale golden file %s: no scenario produces it", e.Name())
+		}
+	}
+	if len(entries) != len(live) {
+		t.Errorf("%d golden files for %d scenarios", len(entries), len(live))
+	}
+}

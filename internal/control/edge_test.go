@@ -1,0 +1,167 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+// The margins must agree exactly with the Analyze verdict for DCTCP right
+// at the instability boundary: GainMargin ≥ 1 one flow below the critical
+// count, < 1 at and beyond it. (For DCTCP the −1/N₀ locus is the real
+// ray (−∞, −π·K], so the two criteria coincide — the package doc's claim,
+// pinned here at the boundary where it matters.)
+func TestMarginsMatchVerdictAtDCTCPBoundary(t *testing.T) {
+	df := DCTCPDF{K: 40}
+	ncrit, err := CriticalN(paperPlant(1), df, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ncrit <= 2 || ncrit > 200 {
+		t.Fatalf("critical N = %d outside the searchable range", ncrit)
+	}
+	for _, tc := range []struct {
+		n          int
+		wantStable bool
+	}{
+		{ncrit - 1, true},
+		{ncrit, false},
+		{ncrit + 1, false},
+	} {
+		p := paperPlant(float64(tc.n))
+		v, err := Analyze(p, df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Stable != tc.wantStable {
+			t.Errorf("N=%d: Analyze stable=%v, want %v", tc.n, v.Stable, tc.wantStable)
+		}
+		m, err := StabilityMargins(p, df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.wantStable && m.GainMargin < 1 {
+			t.Errorf("N=%d: GainMargin %g < 1 on the stable side", tc.n, m.GainMargin)
+		}
+		if !tc.wantStable && m.GainMargin >= 1 {
+			t.Errorf("N=%d: GainMargin %g ≥ 1 on the oscillating side", tc.n, m.GainMargin)
+		}
+	}
+}
+
+// For DT-DCTCP the scalar margin is conservative: wherever Analyze
+// predicts a limit cycle, the margin must flag it too (GainMargin < 1),
+// though the converse may not hold near the boundary.
+func TestDTMarginConservativeAtBoundary(t *testing.T) {
+	df := DTDCTCPDF{K1: 30, K2: 50}
+	ncrit, err := CriticalN(paperPlant(1), df, 2, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ncrit <= 2 || ncrit > 300 {
+		t.Fatalf("critical N = %d outside the searchable range", ncrit)
+	}
+	for n := ncrit; n <= ncrit+10; n += 5 {
+		p := paperPlant(float64(n))
+		v, err := Analyze(p, df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Stable {
+			t.Fatalf("N=%d ≥ critical %d: expected oscillation", n, ncrit)
+		}
+		m, err := StabilityMargins(p, df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.GainMargin >= 1 {
+			t.Errorf("N=%d oscillates but GainMargin = %g ≥ 1 (margin must be conservative)", n, m.GainMargin)
+		}
+	}
+}
+
+// The gain margin must shrink continuously and monotonically as N climbs
+// through the boundary — no jumps or reversals that would make the margin
+// useless as a distance-to-instability measure.
+func TestGainMarginMonotoneAcrossBoundary(t *testing.T) {
+	df := DCTCPDF{K: 40}
+	ncrit, err := CriticalN(paperPlant(1), df, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.NaN()
+	for n := ncrit - 10; n <= ncrit+10; n++ {
+		if n < 1 {
+			continue
+		}
+		m, err := StabilityMargins(paperPlant(float64(n)), df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsNaN(prev) {
+			if m.GainMargin >= prev {
+				t.Fatalf("N=%d: GainMargin %g did not decrease (prev %g)", n, m.GainMargin, prev)
+			}
+			if prev-m.GainMargin > 0.5 {
+				t.Fatalf("N=%d: GainMargin jumped by %g — not continuous", n, prev-m.GainMargin)
+			}
+		}
+		prev = m.GainMargin
+	}
+}
+
+// Right at the boundary the phase margin must exist (the locus reaches
+// the critical magnitude) and change sign within a few flows of the
+// verdict flip.
+func TestPhaseMarginSignFlipsNearBoundary(t *testing.T) {
+	df := DCTCPDF{K: 40}
+	ncrit, err := CriticalN(paperPlant(1), df, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Well inside the stable region the margin is comfortably positive
+	// (or the locus never even reaches the critical circle).
+	mStable, err := StabilityMargins(paperPlant(float64(ncrit-10)), df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(mStable.PhaseMargin) && mStable.PhaseMargin <= 0 {
+		t.Errorf("N=%d (stable): PhaseMargin %g ≤ 0", ncrit-10, mStable.PhaseMargin)
+	}
+	// Past the boundary it must exist and be negative.
+	mOsc, err := StabilityMargins(paperPlant(float64(ncrit+5)), df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(mOsc.PhaseMargin) {
+		t.Fatalf("N=%d (oscillating): PhaseMargin is NaN, want a finite negative value", ncrit+5)
+	}
+	if mOsc.PhaseMargin >= 0 {
+		t.Errorf("N=%d (oscillating): PhaseMargin %g ≥ 0", ncrit+5, mOsc.PhaseMargin)
+	}
+	if mOsc.GainCrossover <= 0 || mOsc.PhaseCrossover <= 0 {
+		t.Errorf("crossover frequencies must be positive: gc=%g pc=%g", mOsc.GainCrossover, mOsc.PhaseCrossover)
+	}
+}
+
+// Degenerate thresholds: a DT describing function with K1 = K2 = K must
+// give the same margins as the single-threshold one at the same K — the
+// control-layer twin of the aqm packet-level degeneracy test.
+func TestDegenerateDTMarginsEqualDCTCP(t *testing.T) {
+	for _, n := range []float64{20, 60, 100} {
+		p := paperPlant(n)
+		md, err := StabilityMargins(p, DTDCTCPDF{K1: 40, K2: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := StabilityMargins(p, DCTCPDF{K: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(md.GainMargin-ms.GainMargin) > 1e-6*math.Abs(ms.GainMargin) {
+			t.Errorf("N=%g: DT(K,K) GainMargin %g ≠ DCTCP %g", n, md.GainMargin, ms.GainMargin)
+		}
+		if math.Abs(md.PhaseCrossover-ms.PhaseCrossover) > 1e-6*ms.PhaseCrossover {
+			t.Errorf("N=%g: DT(K,K) PhaseCrossover %g ≠ DCTCP %g", n, md.PhaseCrossover, ms.PhaseCrossover)
+		}
+	}
+}

@@ -271,13 +271,7 @@ func RunDumbbell(cfg DumbbellConfig) (*DumbbellResult, error) {
 	if res.QueueSeries != nil {
 		// Estimate the oscillation period on the post-warmup part of
 		// the trace so the slow-start transient does not dominate.
-		steady := stats.NewSeries("queue-steady")
-		for _, p := range res.QueueSeries.Points() {
-			if p.T >= cfg.Warmup.Seconds() {
-				steady.Add(p.T, p.V)
-			}
-		}
-		period, conf := stats.EstimatePeriod(steady)
+		period, conf := stats.EstimatePeriod(res.QueueSeries.After(cfg.Warmup.Seconds()))
 		res.OscPeriod = time.Duration(period * float64(time.Second))
 		res.OscConfidence = conf
 	}

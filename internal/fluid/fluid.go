@@ -125,6 +125,14 @@ type Result struct {
 	// the oscillation amplitude the describing-function analysis
 	// predicts.
 	QueueAmplitude float64
+	// OscPeriod is the dominant oscillation period (seconds) of the
+	// queue over the second half, estimated by autocorrelation exactly
+	// like the packet simulator's DumbbellResult.OscPeriod, so the two
+	// machineries are directly comparable; zero when no credible
+	// periodicity was found. OscConfidence is the normalized
+	// autocorrelation at that lag.
+	OscPeriod     float64
+	OscConfidence float64
 }
 
 // Solve integrates the model and samples the trajectory.
@@ -260,6 +268,7 @@ func Solve(cfg Config) (*Result, error) {
 	if tail.Count() > 0 {
 		res.QueueAmplitude = (tailMax - tailMin) / 2
 	}
+	res.OscPeriod, res.OscConfidence = stats.EstimatePeriod(res.Queue.After(half))
 	return res, nil
 }
 
@@ -270,5 +279,7 @@ func rtt(cfg Config, q float64) float64 {
 	if q < 0 {
 		q = 0
 	}
-	return cfg.D + q/cfg.C
+	// Floor at 1ns: with D = 0 and an empty queue the instantaneous RTT
+	// would otherwise vanish and the 1/R terms of the ODEs blow up.
+	return math.Max(cfg.D+q/cfg.C, 1e-9)
 }

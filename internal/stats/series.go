@@ -1,8 +1,11 @@
 package stats
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -50,6 +53,37 @@ func (s *Series) Values() []float64 {
 		out[i] = p.V
 	}
 	return out
+}
+
+// After returns a new series holding the samples at instants ≥ t. It is
+// the standard way to isolate the steady-state tail of an experiment
+// trace from its warmup transient before period or amplitude estimation.
+func (s *Series) After(t float64) *Series {
+	out := NewSeries(s.Name)
+	for _, p := range s.points {
+		if p.T >= t {
+			out.points = append(out.points, p)
+		}
+	}
+	return out
+}
+
+// Hash64 returns an FNV-1a checksum over the exact bit patterns of every
+// sample (T then V, little-endian float64 bits). Two series hash equal
+// iff they are sample-for-sample bit-identical, which makes the checksum
+// a compact determinism witness for golden-run digests: any drift in
+// event ordering, RNG consumption, or float arithmetic shows up as a
+// different hash.
+func (s *Series) Hash64() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range s.points {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p.T))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p.V))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
 }
 
 // Summary computes simple statistics of the sampled values.

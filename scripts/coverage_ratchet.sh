@@ -1,0 +1,39 @@
+#!/bin/sh
+# Per-package coverage ratchet: every package listed in coverage_floor.txt
+# must meet its committed floor. Prints one line per ratcheted package and
+# exits non-zero when any package falls below its floor or a listed
+# package stops producing a coverage line (renamed/deleted packages must
+# update the floor file).
+set -eu
+cd "$(dirname "$0")/.."
+out="$(go test -cover ./... 2>&1)" || { printf '%s\n' "$out"; exit 1; }
+printf '%s\n' "$out" | awk -v floors="coverage_floor.txt" '
+BEGIN {
+    while ((getline line < floors) > 0) {
+        if (line ~ /^[ \t]*(#|$)/) continue
+        split(line, f, /[ \t]+/)
+        floor[f[1]] = f[2] + 0
+    }
+    close(floors)
+}
+$1 == "ok" && /coverage:/ {
+    pkg = $2
+    pct = -1
+    for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i + 1) + 0
+    if (pkg in floor) {
+        seen[pkg] = 1
+        if (pct < floor[pkg]) {
+            printf "FAIL %s: coverage %.1f%% below floor %d%%\n", pkg, pct, floor[pkg]
+            bad = 1
+        } else {
+            printf "ok   %s: %.1f%% (floor %d%%)\n", pkg, pct, floor[pkg]
+        }
+    }
+}
+END {
+    for (p in floor) if (!(p in seen)) {
+        printf "FAIL %s: listed in coverage_floor.txt but produced no coverage line\n", p
+        bad = 1
+    }
+    exit bad
+}'
