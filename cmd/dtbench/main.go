@@ -29,6 +29,7 @@ import (
 
 	"dtdctcp"
 	"dtdctcp/internal/aqm"
+	"dtdctcp/internal/metrics"
 	"dtdctcp/internal/netsim"
 	"dtdctcp/internal/sim"
 )
@@ -55,6 +56,20 @@ type DumbbellMetric struct {
 	EventsPerSec   float64 `json:"events_per_sec"`
 }
 
+// OverheadMetric compares the same dumbbell run with the observability
+// registry off and on. Each side reports the fastest of its runs (min
+// damps scheduler noise); the event counts must match exactly, since
+// pull-based instrumentation is required not to change the simulation.
+type OverheadMetric struct {
+	Runs              int     `json:"runs"`
+	Events            uint64  `json:"events"`
+	BaseNsPerEvent    float64 `json:"base_ns_per_event"`
+	MetricsNsPerEvent float64 `json:"metrics_ns_per_event"`
+	// DeltaPercent is (metrics − base) ÷ base × 100; the test suite pins
+	// it below 5%.
+	DeltaPercent float64 `json:"delta_percent"`
+}
+
 // SweepMetric times one sweep serially and in parallel.
 type SweepMetric struct {
 	Points         int     `json:"points"`
@@ -76,6 +91,7 @@ type Snapshot struct {
 	NumCPU     int             `json:"num_cpu"`
 	Metrics    []Metric        `json:"metrics"`
 	Dumbbell   *DumbbellMetric `json:"dumbbell,omitempty"`
+	Overhead   *OverheadMetric `json:"overhead,omitempty"`
 	Sweep      *SweepMetric    `json:"sweep,omitempty"`
 }
 
@@ -99,15 +115,40 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dtbench", flag.ContinueOnError)
 	var (
-		out   = fs.String("o", "", "merge the snapshot into this JSON file (previous current moves to history)")
-		label = fs.String("label", "", "snapshot label (default: timestamp)")
-		quick = fs.Bool("quick", false, "smaller dumbbell and sweep for a fast smoke pass")
+		out        = fs.String("o", "", "merge the snapshot into this JSON file (previous current moves to history)")
+		label      = fs.String("label", "", "snapshot label (default: timestamp)")
+		quick      = fs.Bool("quick", false, "smaller dumbbell and sweep for a fast smoke pass")
+		metricsOut = fs.String("metrics", "", "write the instrumented dumbbell's observability snapshot as JSON to this path")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *cpuProfile != "" {
+		stop, err := metrics.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+
 	snap := measure(*quick)
+	if *metricsOut != "" {
+		cfg := dumbbellConfig(*quick)
+		cfg.Metrics = true
+		res, err := dtdctcp.RunDumbbell(cfg)
+		if err != nil {
+			return err
+		}
+		if err := metrics.WriteFile(*metricsOut, []metrics.Named{{Name: "dumbbell", Snapshot: res.Metrics}}); err != nil {
+			return err
+		}
+	}
+	if *memProfile != "" {
+		defer metrics.WriteHeapProfile(*memProfile)
+	}
 	snap.Label = *label
 	if snap.Label == "" {
 		snap.Label = snap.Timestamp
@@ -174,6 +215,7 @@ func measure(quick bool) *Snapshot {
 		snap.Metrics = append(snap.Metrics, m)
 	}
 	snap.Dumbbell = measureDumbbell(quick)
+	snap.Overhead = measureOverhead(quick)
 	snap.Sweep = measureSweep(quick)
 	return snap
 }
@@ -274,9 +316,9 @@ func benchForwardDropTail(b *testing.B) {
 	}
 }
 
-// measureDumbbell runs one paper-scale dumbbell and reports the malloc
-// count per simulated event.
-func measureDumbbell(quick bool) *DumbbellMetric {
+// dumbbellConfig is the paper-scale run shared by the dumbbell profile,
+// the overhead pair, and the -metrics export.
+func dumbbellConfig(quick bool) dtdctcp.DumbbellConfig {
 	cfg := dtdctcp.DumbbellConfig{
 		Protocol:   dtdctcp.DCTCP(40, 1.0/16),
 		Flows:      40,
@@ -292,6 +334,13 @@ func measureDumbbell(quick bool) *DumbbellMetric {
 		cfg.Duration = 10 * time.Millisecond
 		cfg.Warmup = 2 * time.Millisecond
 	}
+	return cfg
+}
+
+// measureDumbbell runs one paper-scale dumbbell and reports the malloc
+// count per simulated event.
+func measureDumbbell(quick bool) *DumbbellMetric {
+	cfg := dumbbellConfig(quick)
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
@@ -313,6 +362,51 @@ func measureDumbbell(quick bool) *DumbbellMetric {
 	if res.Events > 0 {
 		m.AllocsPerEvent = float64(m.Mallocs) / float64(res.Events)
 		m.EventsPerSec = float64(res.Events) / wall.Seconds()
+	}
+	return m
+}
+
+// measureOverhead times the identical dumbbell with metrics off and on,
+// min-of-N per side, and reports the ns-per-event delta. Event counts
+// from both sides must match — pull-based instrumentation may not alter
+// the simulation — and a mismatch panics rather than reporting a
+// meaningless comparison.
+func measureOverhead(quick bool) *OverheadMetric {
+	cfg := dumbbellConfig(quick)
+	runs := 5
+	if quick {
+		runs = 3
+	}
+	best := func(withMetrics bool) (ns float64, events uint64) {
+		for i := 0; i < runs; i++ {
+			c := cfg
+			c.Metrics = withMetrics
+			start := time.Now()
+			res, err := dtdctcp.RunDumbbell(c)
+			wall := time.Since(start)
+			if err != nil {
+				panic(err)
+			}
+			events = res.Events
+			if perEvent := float64(wall.Nanoseconds()) / float64(res.Events); ns == 0 || perEvent < ns {
+				ns = perEvent
+			}
+		}
+		return ns, events
+	}
+	baseNs, baseEvents := best(false)
+	metNs, metEvents := best(true)
+	if baseEvents != metEvents {
+		panic(fmt.Sprintf("dtbench: metrics changed the run: %d events without vs %d with", baseEvents, metEvents))
+	}
+	m := &OverheadMetric{
+		Runs:              runs,
+		Events:            baseEvents,
+		BaseNsPerEvent:    baseNs,
+		MetricsNsPerEvent: metNs,
+	}
+	if baseNs > 0 {
+		m.DeltaPercent = (metNs - baseNs) / baseNs * 100
 	}
 	return m
 }

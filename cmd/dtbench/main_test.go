@@ -91,3 +91,23 @@ func TestCommittedBaselineParses(t *testing.T) {
 		t.Errorf("allocs/event %.4f vs seed %.4f: want ≥30%% reduction", cur, seed)
 	}
 }
+
+// TestMetricsOverheadSmoke runs the metrics-on/off benchmark pair in
+// quick mode and pins the observability tax: both runs must process the
+// identical event stream (pull-based collection cannot perturb the
+// simulation) and the per-event slowdown must stay under 5%.
+func TestMetricsOverheadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive smoke test")
+	}
+	o := measureOverhead(true)
+	if o.Events == 0 {
+		t.Fatal("overhead pair processed no events")
+	}
+	if o.BaseNsPerEvent <= 0 || o.MetricsNsPerEvent <= 0 {
+		t.Fatalf("degenerate timings: base=%.2f metrics=%.2f", o.BaseNsPerEvent, o.MetricsNsPerEvent)
+	}
+	if o.DeltaPercent >= 5 {
+		t.Fatalf("metrics overhead %.2f%% per event, want < 5%%", o.DeltaPercent)
+	}
+}

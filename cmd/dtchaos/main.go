@@ -32,6 +32,7 @@ import (
 
 	"dtdctcp"
 	"dtdctcp/internal/chaos"
+	"dtdctcp/internal/metrics"
 	"dtdctcp/internal/runner"
 )
 
@@ -84,26 +85,45 @@ func main() {
 func run(args []string, w *os.File) error {
 	fs := flag.NewFlagSet("dtchaos", flag.ContinueOnError)
 	var (
-		out      = fs.String("o", "", "merge the snapshot into this JSON file (previous current moves to history)")
-		label    = fs.String("label", "", "snapshot label (default: timestamp)")
-		profiles = fs.String("profiles", "", "comma-separated built-in profiles (default: all)")
-		planPath = fs.String("plan", "", "run a custom plan file instead of built-in profiles")
-		flows    = fs.Int("flows", 40, "long-lived flows sharing the bottleneck")
-		rate     = fs.Int64("rate", int64(10*dtdctcp.Gbps), "bottleneck rate in bits per second")
-		seed     = fs.Int64("seed", 1, "engine seed")
-		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel sweep workers (results are identical for any value)")
+		out        = fs.String("o", "", "merge the snapshot into this JSON file (previous current moves to history)")
+		label      = fs.String("label", "", "snapshot label (default: timestamp)")
+		profiles   = fs.String("profiles", "", "comma-separated built-in profiles (default: all)")
+		planPath   = fs.String("plan", "", "run a custom plan file instead of built-in profiles")
+		flows      = fs.Int("flows", 40, "long-lived flows sharing the bottleneck")
+		rate       = fs.Int64("rate", int64(10*dtdctcp.Gbps), "bottleneck rate in bits per second")
+		seed       = fs.Int64("seed", 1, "engine seed")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel sweep workers (results are identical for any value)")
+		metricsOut = fs.String("metrics", "", "write per-cell observability snapshots as JSON to this path")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		stop, err := metrics.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 
 	plans, err := selectPlans(*profiles, *planPath)
 	if err != nil {
 		return err
 	}
-	reports, err := Sweep(plans, *flows, dtdctcp.Rate(*rate), *seed, *workers)
+	reports, snaps, err := Sweep(plans, *flows, dtdctcp.Rate(*rate), *seed, *workers, *metricsOut != "")
 	if err != nil {
 		return err
+	}
+	if *metricsOut != "" {
+		if err := metrics.WriteFile(*metricsOut, snaps); err != nil {
+			return err
+		}
+	}
+	if *memProfile != "" {
+		defer metrics.WriteHeapProfile(*memProfile)
 	}
 
 	printTable(w, reports)
@@ -161,11 +181,17 @@ func protocols() []dtdctcp.Protocol {
 // Sweep runs every (plan, protocol) pair and measures recovery. Points
 // run on up to workers goroutines; each owns a private engine seeded by
 // the configuration alone, so output is identical for any worker count.
-func Sweep(plans []*chaos.Plan, flows int, rate dtdctcp.Rate, seed int64, workers int) ([]Report, error) {
+// With collectMetrics set, each cell also returns its observability
+// snapshot named "<profile>/<protocol>".
+func Sweep(plans []*chaos.Plan, flows int, rate dtdctcp.Rate, seed int64, workers int, collectMetrics bool) ([]Report, []metrics.Named, error) {
 	protos := protocols()
 	type point struct {
 		plan  *chaos.Plan
 		proto dtdctcp.Protocol
+	}
+	type cell struct {
+		rep  Report
+		snap *metrics.Snapshot
 	}
 	var pts []point
 	for _, plan := range plans {
@@ -173,8 +199,8 @@ func Sweep(plans []*chaos.Plan, flows int, rate dtdctcp.Rate, seed int64, worker
 			pts = append(pts, point{plan, proto})
 		}
 	}
-	return runner.Map(context.Background(), len(pts), runner.Options{Workers: workers},
-		func(_ context.Context, i int) (Report, error) {
+	cells, err := runner.Map(context.Background(), len(pts), runner.Options{Workers: workers},
+		func(_ context.Context, i int) (cell, error) {
 			pt := pts[i]
 			cfg := dtdctcp.DumbbellConfig{
 				Protocol:         pt.proto,
@@ -187,10 +213,11 @@ func Sweep(plans []*chaos.Plan, flows int, rate dtdctcp.Rate, seed int64, worker
 				QueueSampleEvery: 20 * time.Microsecond,
 				Seed:             seed,
 				Chaos:            pt.plan,
+				Metrics:          collectMetrics,
 			}
 			res, err := dtdctcp.RunDumbbell(cfg)
 			if err != nil {
-				return Report{}, fmt.Errorf("%s/%s: %w", pt.plan.Name, pt.proto.Name, err)
+				return cell{}, fmt.Errorf("%s/%s: %w", pt.plan.Name, pt.proto.Name, err)
 			}
 			rep := Report{
 				Profile:       pt.plan.Name,
@@ -208,8 +235,23 @@ func Sweep(plans []*chaos.Plan, flows int, rate dtdctcp.Rate, seed int64, worker
 				rep.RelockTimeMs = r.RelockTime * 1e3
 				rep.RefPeriodUs = r.RefPeriod * 1e6
 			}
-			return rep, nil
+			return cell{rep: rep, snap: res.Metrics}, nil
 		})
+	if err != nil {
+		return nil, nil, err
+	}
+	reports := make([]Report, len(cells))
+	var snaps []metrics.Named
+	for i, c := range cells {
+		reports[i] = c.rep
+		if collectMetrics {
+			snaps = append(snaps, metrics.Named{
+				Name:     pts[i].plan.Name + "/" + pts[i].proto.Name,
+				Snapshot: c.snap,
+			})
+		}
+	}
+	return reports, snaps, nil
 }
 
 func printTable(w *os.File, reports []Report) {

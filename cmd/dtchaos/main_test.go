@@ -21,7 +21,7 @@ func sweepAll(t *testing.T) []Report {
 		}
 		plans = append(plans, p)
 	}
-	reports, err := Sweep(plans, 20, 1*dtdctcp.Gbps, 1, 0)
+	reports, _, err := Sweep(plans, 20, 1*dtdctcp.Gbps, 1, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +72,11 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	one, err := Sweep([]*chaos.Plan{plan}, 12, 1*dtdctcp.Gbps, 3, 1)
+	one, _, err := Sweep([]*chaos.Plan{plan}, 12, 1*dtdctcp.Gbps, 3, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	eight, err := Sweep([]*chaos.Plan{plan}, 12, 1*dtdctcp.Gbps, 3, 8)
+	eight, _, err := Sweep([]*chaos.Plan{plan}, 12, 1*dtdctcp.Gbps, 3, 8, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dtdctcp"
+	"dtdctcp/internal/metrics"
 	"dtdctcp/internal/runner"
 	"dtdctcp/internal/stats"
 )
@@ -38,17 +39,31 @@ type settings struct {
 	rounds   int
 	seeds    int
 	workers  int
+	// collect, when non-nil, receives observability snapshots from the
+	// figures that support them (-metrics flag).
+	collect *[]metrics.Named
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dtexperiments", flag.ContinueOnError)
 	var (
-		figs    = fs.String("fig", "1,2,6,9,10,11,12,14,15", "comma-separated figure ids to run (extensions: aqm, d2, buildup)")
-		short   = fs.Bool("short", false, "reduced durations for a quick pass")
-		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent sweep points (results are identical for any value)")
+		figs       = fs.String("fig", "1,2,6,9,10,11,12,14,15", "comma-separated figure ids to run (extensions: aqm, d2, buildup)")
+		short      = fs.Bool("short", false, "reduced durations for a quick pass")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent sweep points (results are identical for any value)")
+		metricsOut = fs.String("metrics", "", "write observability snapshots of the fig-1 runs as JSON to this path")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		stop, err := metrics.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 
 	s := settings{duration: 200 * time.Millisecond, warmup: 40 * time.Millisecond, rounds: 20, seeds: 3}
@@ -58,6 +73,10 @@ func run(args []string, out io.Writer) error {
 	s.workers = *workers
 	if s.workers < 1 {
 		s.workers = 1
+	}
+	var collected []metrics.Named
+	if *metricsOut != "" {
+		s.collect = &collected
 	}
 
 	runners := map[string]func(settings, io.Writer) error{
@@ -94,6 +113,17 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("figure %s: %w", id, err)
 		}
 	}
+	if *metricsOut != "" {
+		if err := metrics.WriteFile(*metricsOut, collected); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nmetrics written to %s\n", *metricsOut)
+	}
+	if *memProfile != "" {
+		if err := metrics.WriteHeapProfile(*memProfile); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -116,9 +146,14 @@ func fig1(s settings, out io.Writer) error {
 			Warmup:           s.warmup,
 			QueueSampleEvery: 25 * time.Microsecond,
 			Seed:             1,
+			Metrics:          s.collect != nil,
 		})
 		if err != nil {
 			return err
+		}
+		if s.collect != nil {
+			*s.collect = append(*s.collect,
+				metrics.Named{Name: fmt.Sprintf("fig1-n%d", n), Snapshot: res.Metrics})
 		}
 		fmt.Fprintf(out, "\nN = %d: mean %.1f pkts, stddev %.1f, excursion [%.0f, %.0f] (peak-to-peak %.0f)\n",
 			n, res.QueueMeanPkts, res.QueueStdPkts, res.QueueMinPkts, res.QueueMaxPkts,

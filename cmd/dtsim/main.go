@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dtdctcp"
+	"dtdctcp/internal/metrics"
 )
 
 func main() {
@@ -29,24 +30,37 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dtsim", flag.ContinueOnError)
 	var (
-		protocol = fs.String("protocol", "dctcp", "protocol: dctcp, dt-dctcp, reno, reno-ecn")
-		k        = fs.Int("k", 40, "single marking threshold in packets (dctcp, reno-ecn)")
-		k1       = fs.Int("k1", 30, "DT-DCTCP mark-on threshold in packets")
-		k2       = fs.Int("k2", 50, "DT-DCTCP mark-off threshold in packets")
-		g        = fs.Float64("g", 1.0/16, "DCTCP estimation gain")
-		flows    = fs.Int("flows", 10, "number of long-lived flows")
-		rate     = fs.Int("rate-gbps", 10, "bottleneck rate in Gbps")
-		rtt      = fs.Duration("rtt", 100*time.Microsecond, "base round-trip time")
-		buffer   = fs.Int("buffer", 600, "bottleneck buffer in packets")
-		duration = fs.Duration("duration", 100*time.Millisecond, "measured interval")
-		warmup   = fs.Duration("warmup", 20*time.Millisecond, "warmup excluded from statistics")
-		seed     = fs.Int64("seed", 1, "random seed")
-		plot     = fs.Bool("plot", false, "print an ASCII queue trace")
-		csvPath  = fs.String("csv", "", "write the queue trace as CSV to this path")
-		tracing  = fs.String("trace", "", "write per-packet bottleneck events as JSONL to this path")
+		protocol    = fs.String("protocol", "dctcp", "protocol: dctcp, dt-dctcp, reno, reno-ecn")
+		k           = fs.Int("k", 40, "single marking threshold in packets (dctcp, reno-ecn)")
+		k1          = fs.Int("k1", 30, "DT-DCTCP mark-on threshold in packets")
+		k2          = fs.Int("k2", 50, "DT-DCTCP mark-off threshold in packets")
+		g           = fs.Float64("g", 1.0/16, "DCTCP estimation gain")
+		flows       = fs.Int("flows", 10, "number of long-lived flows")
+		rate        = fs.Int("rate-gbps", 10, "bottleneck rate in Gbps")
+		rtt         = fs.Duration("rtt", 100*time.Microsecond, "base round-trip time")
+		buffer      = fs.Int("buffer", 600, "bottleneck buffer in packets")
+		duration    = fs.Duration("duration", 100*time.Millisecond, "measured interval")
+		warmup      = fs.Duration("warmup", 20*time.Millisecond, "warmup excluded from statistics")
+		seed        = fs.Int64("seed", 1, "random seed")
+		plot        = fs.Bool("plot", false, "print an ASCII queue trace")
+		csvPath     = fs.String("csv", "", "write the queue trace as CSV to this path")
+		tracing     = fs.String("trace", "", "write per-packet bottleneck events as JSONL to this path")
+		metricsOut  = fs.String("metrics", "", "write the observability snapshot as JSON to this path")
+		promOut     = fs.String("metrics-prom", "", "write the snapshot in Prometheus text format to this path")
+		metricsTick = fs.Duration("metrics-sample", 0, "sample queue/α/cwnd gauges into snapshot series at this virtual-time period")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile  = fs.String("memprofile", "", "write a heap profile to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		stop, err := metrics.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 
 	var proto dtdctcp.Protocol
@@ -77,6 +91,10 @@ func run(args []string, out io.Writer) error {
 	if *plot || *csvPath != "" {
 		cfg.QueueSampleEvery = *rtt / 4
 	}
+	if *metricsOut != "" || *promOut != "" {
+		cfg.Metrics = true
+	}
+	cfg.MetricsSampleEvery = *metricsTick
 	if *tracing != "" {
 		f, err := os.Create(*tracing)
 		if err != nil {
@@ -115,6 +133,31 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "\nqueue trace written to %s\n", *csvPath)
+	}
+	if *metricsOut != "" {
+		if err := metrics.WriteFile(*metricsOut, []metrics.Named{{Name: "dumbbell", Snapshot: res.Metrics}}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics written to %s\n", *metricsOut)
+	}
+	if *promOut != "" {
+		f, err := os.Create(*promOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Metrics.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "prometheus metrics written to %s\n", *promOut)
+	}
+	if *memProfile != "" {
+		if err := metrics.WriteHeapProfile(*memProfile); err != nil {
+			return err
+		}
 	}
 	return nil
 }

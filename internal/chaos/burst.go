@@ -46,6 +46,7 @@ func (c *Controller) scheduleBurst(ev *Event, port *netsim.Port, at sim.Time) {
 	}
 	b.fireFn = b.fire
 	c.engine.Schedule(at, func() {
+		c.executed++
 		if c.trace != nil {
 			c.trace.Burst(c.engine.Now(), true, b.name)
 		}
@@ -56,6 +57,7 @@ func (c *Controller) scheduleBurst(ev *Event, port *netsim.Port, at sim.Time) {
 func (b *burster) fire(any) {
 	now := b.c.engine.Now()
 	if !now.Before(b.stop) {
+		b.c.executed++
 		if b.c.trace != nil {
 			b.c.trace.Burst(now, false, b.name)
 		}

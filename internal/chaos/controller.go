@@ -34,6 +34,9 @@ type Controller struct {
 	// burstFlow is the flow ID stamped on injected packets; hosts have
 	// no endpoint for it, so they evaporate one hop downstream.
 	burstFlow netsim.FlowID
+	// executed counts plan actions that have actually fired (each flap
+	// transition and burst toggle counts individually).
+	executed uint64
 }
 
 // BurstFlowID is the reserved flow carried by injected background
@@ -101,12 +104,21 @@ func (c *Controller) schedule(ev *Event) {
 	switch ev.Kind {
 	case KindLinkDown:
 		flush := ev.Flush
-		c.engine.Schedule(at, func() { port.SetDown(true, flush) })
+		c.engine.Schedule(at, func() {
+			c.executed++
+			port.SetDown(true, flush)
+		})
 		if d := ev.DownFor.Duration; d > 0 {
-			c.engine.Schedule(at.Add(d), func() { port.SetDown(false, false) })
+			c.engine.Schedule(at.Add(d), func() {
+				c.executed++
+				port.SetDown(false, false)
+			})
 		}
 	case KindLinkUp:
-		c.engine.Schedule(at, func() { port.SetDown(false, false) })
+		c.engine.Schedule(at, func() {
+			c.executed++
+			port.SetDown(false, false)
+		})
 	case KindFlap:
 		f := &flapper{
 			c:       c,
@@ -123,12 +135,14 @@ func (c *Controller) schedule(ev *Event) {
 	case KindSetRate:
 		rate := netsim.Rate(ev.RateBps)
 		c.engine.Schedule(at, func() {
+			c.executed++
 			port.SetRate(rate)
 			c.custom("chaos-set-rate", float64(rate))
 		})
 	case KindScaleRate:
 		factor := ev.Factor
 		c.engine.Schedule(at, func() {
+			c.executed++
 			r := netsim.Rate(float64(port.Rate()) * factor)
 			port.SetRate(r)
 			c.custom("chaos-set-rate", float64(r))
@@ -136,23 +150,27 @@ func (c *Controller) schedule(ev *Event) {
 	case KindSetDelay:
 		d := ev.Delay.Duration
 		c.engine.Schedule(at, func() {
+			c.executed++
 			port.SetDelay(d)
 			c.custom("chaos-set-delay", d.Seconds())
 		})
 	case KindSetBuffer:
 		b := ev.BufferBytes
 		c.engine.Schedule(at, func() {
+			c.executed++
 			port.SetBuffer(b)
 			c.custom("chaos-set-buffer", float64(b))
 		})
 	case KindCorrupt:
 		prob := ev.Prob
 		c.engine.Schedule(at, func() {
+			c.executed++
 			port.SetCorruptProb(prob)
 			c.custom("chaos-corrupt-prob", prob)
 		})
 		if d := ev.For.Duration; d > 0 {
 			c.engine.Schedule(at.Add(d), func() {
+				c.executed++
 				port.SetCorruptProb(0)
 				c.custom("chaos-corrupt-prob", 0)
 			})
@@ -161,6 +179,11 @@ func (c *Controller) schedule(ev *Event) {
 		c.scheduleBurst(ev, port, at)
 	}
 }
+
+// Executed reports the number of plan actions that have fired so far
+// (each flap transition and burst start/stop counts individually;
+// individual burst packets do not).
+func (c *Controller) Executed() uint64 { return c.executed }
 
 func (c *Controller) custom(name string, v float64) {
 	if c.trace != nil {
@@ -199,11 +222,13 @@ func (f *flapper) jittered(d time.Duration) time.Duration {
 }
 
 func (f *flapper) down(any) {
+	f.c.executed++
 	f.port.SetDown(true, f.flush)
 	f.c.engine.AfterArg(f.jittered(f.downFor), f.upFn, nil)
 }
 
 func (f *flapper) up(any) {
+	f.c.executed++
 	f.port.SetDown(false, false)
 	f.left--
 	if f.left > 0 {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dtdctcp/internal/chaos"
+	"dtdctcp/internal/metrics"
 	"dtdctcp/internal/netsim"
 	"dtdctcp/internal/runner"
 	"dtdctcp/internal/sim"
@@ -52,6 +53,17 @@ type DumbbellConfig struct {
 	// switch). Event times are absolute virtual times, so plans should
 	// account for Warmup.
 	Chaos *chaos.Plan
+	// Metrics enables the observability registry: the result carries a
+	// Snapshot covering the engine, bottleneck port, senders, and chaos
+	// controller. Collection is pull-based, so enabling it changes no
+	// event order and no result field.
+	Metrics bool
+	// MetricsSampleEvery additionally runs a periodic virtual-time
+	// sampler exporting queue depth, mean α, and mean cwnd as series in
+	// the snapshot (implies Metrics). Unlike plain Metrics, the
+	// sampler's ticks are engine events: a sampled run is a different —
+	// still deterministic — run than an unsampled one.
+	MetricsSampleEvery time.Duration
 }
 
 func (c DumbbellConfig) validate() error {
@@ -124,6 +136,10 @@ type DumbbellResult struct {
 	// the chaos plan's fault window; nil unless Chaos was set and the
 	// queue series was sampled.
 	Recovery *stats.Recovery
+
+	// Metrics is the run's observability snapshot; nil unless
+	// DumbbellConfig.Metrics (or MetricsSampleEvery) was set.
+	Metrics *metrics.Snapshot
 }
 
 // RunDumbbell executes the scenario to completion and aggregates results.
@@ -167,10 +183,20 @@ func RunDumbbell(cfg DumbbellConfig) (*DumbbellResult, error) {
 		return nil, err
 	}
 
+	var obs *observer
+	if cfg.Metrics || cfg.MetricsSampleEvery > 0 {
+		obs = newObserver(engine, cfg.MetricsSampleEvery)
+	}
+
 	bneck := sw.PortTo(rcv.ID())
 	rec := netsim.NewQueueRecorder(pktSize, sim.FromDuration(cfg.QueueSampleEvery))
 	rec.WarmupUntil = sim.FromDuration(cfg.Warmup)
-	bneck.SetMonitor(rec)
+	if obs != nil {
+		qmon := obs.observePort("bottleneck", bneck, pktSize, cfg.BufferPkts)
+		bneck.SetMonitor(netsim.MultiMonitor{rec, qmon})
+	} else {
+		bneck.SetMonitor(rec)
+	}
 
 	var tracer *trace.Recorder
 	if cfg.TraceTo != nil {
@@ -192,6 +218,9 @@ func RunDumbbell(cfg DumbbellConfig) (*DumbbellResult, error) {
 		if err := ctl.Apply(); err != nil {
 			return nil, err
 		}
+		if obs != nil {
+			obs.observeChaos(ctl)
+		}
 	}
 
 	flows := workload.StartLongLived(engine, workload.LongLivedConfig{
@@ -200,6 +229,10 @@ func RunDumbbell(cfg DumbbellConfig) (*DumbbellResult, error) {
 		TCP:         cfg.Protocol.TCP,
 		StartJitter: cfg.RTT,
 	})
+	if obs != nil {
+		obs.observeFlows(flows)
+		obs.startSampler(bneck, pktSize, flows)
+	}
 
 	// α sampling (Fig. 12): a periodic event records the mean α.
 	var alphaSeries *stats.Series
@@ -230,6 +263,10 @@ func RunDumbbell(cfg DumbbellConfig) (*DumbbellResult, error) {
 	engine.Schedule(sim.FromDuration(cfg.Warmup), func() {
 		bytesAtWarmup = bneck.Stats().BytesSent
 	})
+	if obs != nil {
+		obs.observeUtilization(bneck, &bytesAtWarmup,
+			cfg.Rate.BytesPerSecond()*cfg.Duration.Seconds())
+	}
 
 	end := sim.FromDuration(cfg.Warmup + cfg.Duration)
 	if err := engine.RunUntil(end); err != nil {
@@ -287,6 +324,9 @@ func RunDumbbell(cfg DumbbellConfig) (*DumbbellResult, error) {
 				res.Recovery = &rec
 			}
 		}
+	}
+	if obs != nil {
+		res.Metrics = obs.snapshot(end)
 	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dtdctcp/internal/chaos"
+	"dtdctcp/internal/metrics"
 	"dtdctcp/internal/netsim"
 	"dtdctcp/internal/runner"
 	"dtdctcp/internal/sim"
@@ -62,6 +63,11 @@ type TestbedConfig struct {
 	// (worker i → its edge switch). Event times are absolute virtual
 	// times within the query run.
 	Chaos *chaos.Plan
+	// Metrics enables the observability registry: the result carries a
+	// Snapshot covering the engine, the bottleneck port, and (when
+	// Chaos is set) the chaos controller. Pull-based, so enabling it
+	// changes nothing else.
+	Metrics bool
 }
 
 // DefaultTestbed returns the paper's testbed parameters for a protocol.
@@ -100,6 +106,7 @@ type testbed struct {
 	aggregator *netsim.Host
 	workers    []*netsim.Host
 	bneck      *netsim.Port
+	obs        *observer
 }
 
 // buildTestbed constructs the Fig. 13 topology.
@@ -137,6 +144,16 @@ func buildTestbed(cfg TestbedConfig) (*testbed, error) {
 		return nil, err
 	}
 	bneck := core.PortTo(agg.ID())
+	var obs *observer
+	if cfg.Metrics {
+		obs = newObserver(engine, 0)
+		pktSize := cfg.Protocol.PacketSize()
+		bufferPkts := cfg.BottleneckBuffer / pktSize
+		if bufferPkts < 1 {
+			bufferPkts = 1
+		}
+		bneck.SetMonitor(obs.observePort("bottleneck", bneck, pktSize, bufferPkts))
+	}
 	if cfg.Chaos != nil {
 		ctl := chaos.NewController(nw, cfg.Chaos)
 		ctl.BindLink("bottleneck", bneck)
@@ -147,12 +164,16 @@ func buildTestbed(cfg TestbedConfig) (*testbed, error) {
 		if err := ctl.Apply(); err != nil {
 			return nil, err
 		}
+		if obs != nil {
+			obs.observeChaos(ctl)
+		}
 	}
 	return &testbed{
 		engine:     engine,
 		aggregator: agg,
 		workers:    workers,
 		bneck:      bneck,
+		obs:        obs,
 	}, nil
 }
 
@@ -183,6 +204,10 @@ type QueryResult struct {
 	// of responses (0 when no deadline was configured).
 	MissedDeadlines  int
 	DeadlineMissRate float64
+
+	// Metrics is the run's observability snapshot; nil unless
+	// TestbedConfig.Metrics was set.
+	Metrics *metrics.Snapshot
 }
 
 // RunQuery executes rounds of a synchronized query on the testbed:
@@ -245,6 +270,9 @@ func RunQuery(cfg TestbedConfig, bytesPerWorker int64, rounds int) (*QueryResult
 		if total > 0 {
 			res.DeadlineMissRate = float64(res.MissedDeadlines) / total
 		}
+	}
+	if tb.obs != nil {
+		res.Metrics = tb.obs.snapshot(tb.engine.Now())
 	}
 	return res, nil
 }

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins writing a CPU profile to path and returns a
+// stop function that ends profiling and closes the file. Commands call
+// this when -cpuprofile is given; profiling is strictly opt-in and has
+// no effect on simulation results (it samples the OS thread, not the
+// virtual clock).
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("metrics: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile garbage-collects for an up-to-date picture and
+// writes the heap profile to path. Commands call this at exit when
+// -memprofile is given.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: create heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics: write heap profile: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCPUProfileWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := StartCPUProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("CPU profile is empty")
+	}
+	// A second profile must not collide with the finished one.
+	stop2, err := StartCPUProfile(filepath.Join(t.TempDir(), "cpu2.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapProfileWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.pprof")
+	if err := WriteHeapProfile(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("heap profile is empty")
+	}
+}
+
+func TestProfileErrorsOnBadPath(t *testing.T) {
+	if _, err := StartCPUProfile(filepath.Join(t.TempDir(), "no", "such", "dir", "p")); err == nil {
+		t.Fatal("want error for unwritable CPU profile path")
+	}
+	if err := WriteHeapProfile(filepath.Join(t.TempDir(), "no", "such", "dir", "p")); err == nil {
+		t.Fatal("want error for unwritable heap profile path")
+	}
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dtdctcp/internal/sim"
+)
+
+// buildSnapshot assembles a registry exercising every metric kind.
+func buildSnapshot() *Snapshot {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests served", L("port", "p0"))
+	c.Add(12)
+	g := r.Gauge("queue_pkts", "instantaneous depth")
+	g.Set(3.5)
+	r.CounterFunc("events_total", "", func() uint64 { return 99 })
+	r.GaugeFunc("ratio", "", func() float64 { return 0.25 })
+	h := r.Histogram("latency_us", "per-packet latency", LinearBounds(10, 10, 3))
+	for _, v := range []float64{5, 15, 25, 35, 100} {
+		h.Observe(v)
+	}
+	return r.Snapshot(1.5)
+}
+
+func TestMarshalIndentByteStable(t *testing.T) {
+	a, err := buildSnapshot().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildSnapshot().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical registries marshalled differently")
+	}
+	if !bytes.HasSuffix(a, []byte("\n")) {
+		t.Fatal("missing trailing newline")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildSnapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP requests_total requests served",
+		"# TYPE requests_total counter",
+		`requests_total{port="p0"} 12`,
+		"# TYPE queue_pkts gauge",
+		"queue_pkts 3.5",
+		"events_total 99",
+		"ratio 0.25",
+		"# TYPE latency_us histogram",
+		`latency_us_bucket{le="10"} 1`,
+		`latency_us_bucket{le="20"} 2`,
+		`latency_us_bucket{le="30"} 3`,
+		`latency_us_bucket{le="+Inf"} 5`,
+		"latency_us_sum 180",
+		"latency_us_count 5",
+	} {
+		if !strings.Contains(out, want+"\n") && !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestHash64EqualIffIdentical(t *testing.T) {
+	a, b := buildSnapshot(), buildSnapshot()
+	if a.Hash64() != b.Hash64() {
+		t.Fatal("identical snapshots hash differently")
+	}
+	b.Metrics[0].Count++
+	if a.Hash64() == b.Hash64() {
+		t.Fatal("distinct snapshots hash equal")
+	}
+}
+
+func TestWriteReadFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	in := []Named{{Name: "run-a", Snapshot: buildSnapshot()}}
+	if err := WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Name != "run-a" {
+		t.Fatalf("round trip lost names: %+v", out)
+	}
+	if out[0].Snapshot.Hash64() != in[0].Snapshot.Hash64() {
+		t.Fatal("round trip changed snapshot content")
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9","snapshots":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("want schema error, got %v", err)
+	}
+}
+
+func TestSeriesByName(t *testing.T) {
+	s := &Snapshot{Series: []SeriesSnapshot{{Name: "q", T: []float64{0.1, 0.2}, Values: []float64{1, 2}}}}
+	got := s.SeriesByName("q")
+	if got == nil || got.Len() != 2 {
+		t.Fatalf("SeriesByName lost points: %+v", got)
+	}
+	if s.SeriesByName("missing") != nil {
+		t.Fatal("SeriesByName invented a series")
+	}
+}
+
+func TestSamplerSeriesInSnapshot(t *testing.T) {
+	r := NewRegistry()
+	engine := sim.NewEngine(1)
+	g := r.Gauge("depth", "")
+	smp := NewSampler(r, engine, 10*time.Millisecond)
+	smp.TrackGauge("depth_series", g)
+	smp.Start()
+	engine.After(5*time.Millisecond, func() { g.Set(1) })
+	engine.After(15*time.Millisecond, func() { g.Set(2) })
+	// The sampler reschedules forever, so run to a horizon rather than
+	// draining the queue.
+	if err := engine.RunFor(25 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Snapshot(engine.Now().Seconds())
+	if len(s.Series) != 1 || s.Series[0].Name != "depth_series" {
+		t.Fatalf("series missing from snapshot: %+v", s.Series)
+	}
+	ser := s.Series[0]
+	// Ticks at exactly 10ms and 20ms of virtual time: sees the 5ms and
+	// 15ms gauge updates respectively.
+	wantT := []float64{0.010, 0.020}
+	wantV := []float64{1, 2}
+	if len(ser.T) != len(wantT) {
+		t.Fatalf("got %d samples, want %d: %+v", len(ser.T), len(wantT), ser)
+	}
+	for i := range wantT {
+		if ser.T[i] != wantT[i] || ser.Values[i] != wantV[i] {
+			t.Fatalf("sample %d = (%v, %v), want (%v, %v)", i, ser.T[i], ser.Values[i], wantT[i], wantV[i])
+		}
+	}
+}
+
+func TestSamplerPanics(t *testing.T) {
+	r := NewRegistry()
+	engine := sim.NewEngine(1)
+	mustPanic(t, "interval must be positive", func() { NewSampler(r, engine, 0) })
+	smp := NewSampler(r, engine, time.Millisecond)
+	smp.Start()
+	mustPanic(t, "Track after Start", func() { smp.Track("late", func() float64 { return 0 }) })
+}

@@ -77,3 +77,16 @@ func (r *QueueRecorder) Max() float64 { return r.tw.Max() }
 // Series returns the decimated time series, or nil when sampling was
 // disabled.
 func (r *QueueRecorder) Series() *stats.Series { return r.series }
+
+// MultiMonitor fans one port's queue-change notifications out to several
+// monitors, letting an experiment attach both its QueueRecorder and an
+// observability histogram to the same port. Order of delivery is the
+// slice order; the loop is allocation-free.
+type MultiMonitor []QueueMonitor
+
+// QueueChanged implements QueueMonitor.
+func (m MultiMonitor) QueueChanged(now sim.Time, qlenBytes int) {
+	for _, mon := range m {
+		mon.QueueChanged(now, qlenBytes)
+	}
+}

@@ -47,6 +47,17 @@ type Engine struct {
 	// excluded). Exposed through Stats for tests and benchmarks.
 	processed uint64
 	scheduled uint64
+
+	// Observability counters behind EngineStats: free-list hits and
+	// misses (the pool's effectiveness), total lazy cancellations,
+	// compaction passes, and the high-water mark of the pending queue.
+	// Plain field increments — the hot path stays branch- and
+	// allocation-free whether or not anything ever reads them.
+	freeHits       uint64
+	freeMisses     uint64
+	cancelledTotal uint64
+	compactions    uint64
+	maxPending     int
 }
 
 // NewEngine creates an engine whose random source is seeded with seed.
@@ -74,8 +85,10 @@ func (e *Engine) alloc() *Event {
 		ev := e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
+		e.freeHits++
 		return ev
 	}
+	e.freeMisses++
 	return &Event{}
 }
 
@@ -102,6 +115,9 @@ func (e *Engine) enqueue(at Time) *Event {
 	e.nextSeq++
 	e.scheduled++
 	e.queue.push(ev)
+	if n := e.queue.Len(); n > e.maxPending {
+		e.maxPending = n
+	}
 	return ev
 }
 
@@ -143,6 +159,7 @@ func (e *Engine) AfterArg(d time.Duration, fn func(any), arg any) EventRef {
 // its entire timer history in the heap until the deadlines surface.
 func (e *Engine) noteCancelled() {
 	e.cancelled++
+	e.cancelledTotal++
 	if e.cancelled >= compactMinCancelled && e.cancelled*2 > e.queue.Len() {
 		e.compact()
 	}
@@ -168,6 +185,7 @@ func (e *Engine) compact() {
 	e.queue.items = kept
 	e.queue.reheapify()
 	e.cancelled = 0
+	e.compactions++
 }
 
 // Stop halts the run loop after the currently executing event returns.
@@ -238,7 +256,16 @@ func (e *Engine) run(keep func(*Event) bool) error {
 
 // Stats reports counters about engine activity.
 func (e *Engine) Stats() EngineStats {
-	return EngineStats{Scheduled: e.scheduled, Processed: e.processed, Pending: e.queue.Len()}
+	return EngineStats{
+		Scheduled:   e.scheduled,
+		Processed:   e.processed,
+		Pending:     e.queue.Len(),
+		Cancelled:   e.cancelledTotal,
+		Compactions: e.compactions,
+		FreeHits:    e.freeHits,
+		FreeMisses:  e.freeMisses,
+		MaxPending:  e.maxPending,
+	}
 }
 
 // EngineStats is a snapshot of engine counters.
@@ -249,4 +276,15 @@ type EngineStats struct {
 	Processed uint64
 	// Pending is the number of events still queued.
 	Pending int
+	// Cancelled is the total number of events lazily cancelled over the
+	// run (whether or not they have been compacted away yet).
+	Cancelled uint64
+	// Compactions counts queue compaction passes.
+	Compactions uint64
+	// FreeHits and FreeMisses count event allocations served from the
+	// free list versus fresh heap allocations; a warm steady state has a
+	// hit rate of 1.
+	FreeHits, FreeMisses uint64
+	// MaxPending is the high-water mark of the pending-event queue.
+	MaxPending int
 }

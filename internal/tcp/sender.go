@@ -76,6 +76,9 @@ type SenderStats struct {
 	FastRecoveries uint64
 	// Timeouts counts RTO firings.
 	Timeouts uint64
+	// AcksReceived counts ACK segments processed (the ECE-ratio
+	// denominator).
+	AcksReceived uint64
 	// ECEAcks counts ACKs that carried an ECN echo.
 	ECEAcks uint64
 	// AlphaUpdates counts per-window α recomputations (DCTCP).
@@ -218,6 +221,7 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 	if !pkt.IsAck || s.completed {
 		return
 	}
+	s.stats.AcksReceived++
 	if pkt.ECE {
 		s.stats.ECEAcks++
 	}
