@@ -4,52 +4,187 @@
 //
 // Usage:
 //
-//	go run ./cmd/dtlint [-list] [packages]
+//	go run ./cmd/dtlint [-list] [-json] [-baseline file] [packages]
 //
-// Packages default to ./... and accept the usual go-list patterns. The
-// command exits 1 when any analyzer reports a finding, so it slots
-// directly into CI next to go vet.
+// Packages default to ./... and accept the usual go-list patterns.
+//
+// Output is one finding per line in file:line:col form, or, with -json, a
+// single stable document:
+//
+//	{"version": 1, "count": N, "findings": [
+//	    {"file": "...", "line": 1, "column": 1, "analyzer": "...", "message": "..."}]}
+//
+// With -baseline, findings recorded in the given file (same JSON schema,
+// matched by file+analyzer+message so unrelated edits moving lines do not
+// resurrect them) are tolerated; only new findings count. CI commits an
+// empty baseline, so the gate is "no findings beyond the reviewed set".
+//
+// Exit codes:
+//
+//	0  no findings (or none beyond the baseline)
+//	1  findings
+//	2  usage, load, or internal error
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dtdctcp/internal/lint"
 )
 
-func main() {
-	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: dtlint [-list] [packages]\n")
-		flag.PrintDefaults()
+// jsonVersion guards the output schema; bump only with a consumer-visible
+// change.
+const jsonVersion = 1
+
+// report is the JSON document -json emits and -baseline consumes.
+type report struct {
+	Version  int       `json:"version"`
+	Count    int       `json:"count"`
+	Findings []finding `json:"findings"`
+}
+
+// finding is one diagnostic in the stable wire form.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func toFindings(diags []lint.Diagnostic) []finding {
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, finding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
 	}
-	flag.Parse()
+	return out
+}
+
+// key identifies a finding across line drift: file, analyzer, and message
+// (messages embed the offending construct, so this is tight enough in
+// practice while surviving unrelated edits above the site).
+func (f finding) key() string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+// subtractBaseline drops findings already recorded in the baseline,
+// consuming baseline entries one-for-one so duplicates only cover
+// duplicates.
+func subtractBaseline(findings []finding, baseline []finding) []finding {
+	quota := make(map[string]int, len(baseline))
+	for _, b := range baseline {
+		quota[b.key()]++
+	}
+	var fresh []finding
+	for _, f := range findings {
+		if quota[f.key()] > 0 {
+			quota[f.key()]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh
+}
+
+func readBaseline(path string) ([]finding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Version != jsonVersion {
+		return nil, fmt.Errorf("%s: baseline schema version %d, this dtlint speaks %d", path, r.Version, jsonVersion)
+	}
+	return r.Findings, nil
+}
+
+func writeReport(w io.Writer, findings []finding) error {
+	r := report{Version: jsonVersion, Count: len(findings), Findings: findings}
+	if r.Findings == nil {
+		r.Findings = []finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// run is main with the process edges injected, so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dtlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a single JSON document")
+	baselinePath := fs.String("baseline", "", "tolerate findings recorded in this JSON `file`; only new ones fail")
+	dir := fs.String("C", ".", "run as if launched from `dir` (go list working directory)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: dtlint [-list] [-json] [-baseline file] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
-	pkgs, err := lint.Load(".", flag.Args()...)
+	var baseline []finding
+	if *baselinePath != "" {
+		var err error
+		baseline, err = readBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "dtlint:", err)
+			return 2
+		}
+	}
+
+	pkgs, err := lint.Load(*dir, fs.Args()...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dtlint:", err)
+		return 2
 	}
 	diags, err := lint.Run(pkgs, analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dtlint:", err)
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	findings := subtractBaseline(toFindings(diags), baseline)
+
+	if *asJSON {
+		if err := writeReport(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "dtlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Column, f.Message, f.Analyzer)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "dtlint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "dtlint: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"dtdctcp/internal/lint"
@@ -29,10 +33,13 @@ func TestTreeIsClean(t *testing.T) {
 	}
 }
 
-// TestSuiteComplete pins the suite composition: the four analyzers the
+// TestSuiteComplete pins the suite composition: the eight analyzers the
 // determinism contract documents, in reporting order.
 func TestSuiteComplete(t *testing.T) {
-	want := []string{"nondeterm", "maporder", "floatcmp", "simtime"}
+	want := []string{
+		"nondeterm", "maporder", "floatcmp", "simtime",
+		"hotalloc", "pktlife", "detflow", "soloengine",
+	}
 	got := lint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
@@ -44,5 +51,114 @@ func TestSuiteComplete(t *testing.T) {
 		if a.Doc == "" {
 			t.Errorf("analyzer %s has no Doc", a.Name)
 		}
+	}
+}
+
+// TestJSONSchema pins the -json wire format byte for byte: CI diffing and
+// the committed baseline depend on it staying stable.
+func TestJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	err := writeReport(&buf, []finding{
+		{File: "a.go", Line: 3, Column: 7, Analyzer: "nondeterm", Message: "bad"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "version": 1,
+  "count": 1,
+  "findings": [
+    {
+      "file": "a.go",
+      "line": 3,
+      "column": 7,
+      "analyzer": "nondeterm",
+      "message": "bad"
+    }
+  ]
+}
+`
+	if buf.String() != want {
+		t.Errorf("JSON schema drifted:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestJSONEmpty pins the clean-tree document: findings must be [], not
+// null, so consumers can index unconditionally.
+func TestJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeReport(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); !strings.Contains(got, `"findings": []`) || !strings.Contains(got, `"count": 0`) {
+		t.Errorf("empty report = %s, want count 0 and an empty findings array", got)
+	}
+}
+
+// TestSubtractBaseline pins the diff semantics: matching is by
+// file+analyzer+message (line drift tolerated), and each baseline entry
+// covers exactly one occurrence.
+func TestSubtractBaseline(t *testing.T) {
+	old := finding{File: "a.go", Line: 10, Analyzer: "maporder", Message: "m"}
+	moved := old
+	moved.Line = 99 // same finding after edits above it
+	dup := old
+	fresh := finding{File: "b.go", Line: 1, Analyzer: "detflow", Message: "n"}
+
+	got := subtractBaseline([]finding{moved, dup, fresh}, []finding{old})
+	if len(got) != 2 {
+		t.Fatalf("new findings = %d (%v), want 2 (the duplicate and the genuinely new one)", len(got), got)
+	}
+	if got[1] != fresh {
+		t.Errorf("fresh finding missing from the diff: %v", got)
+	}
+	if got := subtractBaseline([]finding{moved}, []finding{old}); len(got) != 0 {
+		t.Errorf("line drift not tolerated: %v", got)
+	}
+}
+
+// TestReadBaselineVersion pins the schema guard: a baseline written by a
+// different schema version must fail loudly, not silently mismatch.
+func TestReadBaselineVersion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "count": 0, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaseline(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version mismatch not rejected: %v", err)
+	}
+}
+
+// TestRepoBaselineIsEmpty pins the committed baseline: the tree is clean,
+// so the reviewed set of tolerated findings must be empty — new findings
+// are fixed or //dtlint:allow'd, never baselined away.
+func TestRepoBaselineIsEmpty(t *testing.T) {
+	findings, err := readBaseline(filepath.Join("..", "..", "lint_baseline.json"))
+	if err != nil {
+		t.Fatalf("read committed baseline: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("committed baseline carries %d findings, want 0", len(findings))
+	}
+}
+
+// TestRunExitCodes exercises the command surface that needs no package
+// loading: -list succeeds and names every analyzer, a bad flag is exit 2.
+func TestRunExitCodes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exit = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s", a.Name)
+		}
+	}
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"-baseline", "does-not-exist.json", "-C", "../.."}, &out, &errOut); code != 2 {
+		t.Errorf("missing baseline exit = %d, want 2", code)
 	}
 }

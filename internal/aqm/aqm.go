@@ -102,9 +102,13 @@ func NewDropTail() *DropTail { return &DropTail{} }
 func (*DropTail) Name() string { return "droptail" }
 
 // OnArrival implements Policy: always accept (the port drops on overflow).
+//
+//dtlint:hotpath
 func (*DropTail) OnArrival(sim.Time, int, int) Verdict { return Accept }
 
 // OnDeparture implements Policy.
+//
+//dtlint:hotpath
 func (*DropTail) OnDeparture(sim.Time, int) {}
 
 // Reset implements Policy.
@@ -133,6 +137,8 @@ func NewSingleThresholdPackets(kPackets, pktBytes int) *SingleThreshold {
 func (*SingleThreshold) Name() string { return "dctcp-single" }
 
 // OnArrival implements Policy.
+//
+//dtlint:hotpath
 func (p *SingleThreshold) OnArrival(_ sim.Time, qlenBytes, _ int) Verdict {
 	assertOccupancy(qlenBytes)
 	if qlenBytes >= p.K {
@@ -142,6 +148,8 @@ func (p *SingleThreshold) OnArrival(_ sim.Time, qlenBytes, _ int) Verdict {
 }
 
 // OnDeparture implements Policy.
+//
+//dtlint:hotpath
 func (*SingleThreshold) OnDeparture(sim.Time, int) {}
 
 // Reset implements Policy.

@@ -78,11 +78,13 @@ func (p *DoubleThreshold) Marking() bool {
 func (p *DoubleThreshold) Rising() bool { return p.lastRising }
 
 // OnArrival implements Policy.
+//
+//dtlint:hotpath
 func (p *DoubleThreshold) OnArrival(_ sim.Time, qlenBytes, _ int) Verdict {
 	assertOccupancy(qlenBytes)
 	if invariant.Enabled {
-		invariant.Assert(p.K1 >= 0 && p.K2 >= 0,
-			"aqm: negative double-threshold K1=%d K2=%d", p.K1, p.K2)
+		//dtlint:allow hotalloc: assertion boxing is build-tag gated; alloc tests skip under -tags invariants
+		invariant.Assert(p.K1 >= 0 && p.K2 >= 0, "aqm: negative double-threshold K1=%d K2=%d", p.K1, p.K2)
 	}
 	if p.K1 > p.K2 {
 		// Hysteresis relay.
@@ -112,6 +114,8 @@ func (p *DoubleThreshold) OnArrival(_ sim.Time, qlenBytes, _ int) Verdict {
 
 // OnDeparture implements Policy: departures update the relay state resp.
 // the trend estimator so a draining queue is tracked between arrivals.
+//
+//dtlint:hotpath
 func (p *DoubleThreshold) OnDeparture(_ sim.Time, qlenBytes int) {
 	assertOccupancy(qlenBytes)
 	if p.K1 > p.K2 {
@@ -131,6 +135,7 @@ func (p *DoubleThreshold) Reset() {
 	p.lastRising = false
 }
 
+//dtlint:hotpath
 func (p *DoubleThreshold) observe(qlen int) bool {
 	g := p.TrendGain
 	if g <= 0 || g > 1 {

@@ -81,7 +81,7 @@ func (p Plant) PhaseCrossover(k0, wMin, wMax float64) (w float64, re float64, er
 		z := complex(k0, 0) * p.Eval(cw)
 		// The exact-zero tests deliberately exclude samples landing on
 		// the axis from the bracket: a sign test on ±0 is ambiguous.
-		if im := imag(z); prevIm != 0 && im != 0 && (prevIm < 0) != (im < 0) { //dtlint:allow floatcmp -- exact-zero screen for the sign-change bracket
+		if im := imag(z); prevIm != 0 && im != 0 && (prevIm < 0) != (im < 0) { //dtlint:allow floatcmp: exact-zero screen for the sign-change bracket
 			// Bisect the bracket.
 			lo, hi := prevW, cw
 			for iter := 0; iter < 100; iter++ {

@@ -1,0 +1,399 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds the intra-procedural control-flow graph the
+// flow-sensitive analyzers (pktlife, detflow) run their dataflow over.
+//
+// Blocks hold "atomic" nodes only: simple statements and the init/cond/tag
+// expressions of compound statements. Compound statements themselves never
+// appear as nodes — their bodies become blocks and edges — so a transfer
+// function can ast.Inspect each node without double-visiting nested code.
+//
+// Two synthetic blocks terminate every graph: exit (normal returns and
+// falling off the end) and panicExit (paths ending in an explicit panic
+// call). Deferred calls are modelled with may-run semantics: every defer
+// seen anywhere in the function is assumed to run before exit, in LIFO
+// order, wrapped in deferRun nodes so transfer functions can distinguish
+// execution (at exit) from registration (the DeferStmt at its site, where
+// the call's arguments are evaluated).
+
+// block is one basic block of a function CFG.
+type block struct {
+	// index orders blocks in construction (roughly source) order.
+	index int
+	// nodes are the atomic statements and expressions of the block.
+	nodes []ast.Node
+	// succs are the control-flow successors.
+	succs []*block
+}
+
+// deferRun wraps a deferred call for execution at function exit. It
+// implements ast.Node by delegating to the underlying call.
+type deferRun struct{ call *ast.CallExpr }
+
+func (d *deferRun) Pos() token.Pos { return d.call.Pos() }
+func (d *deferRun) End() token.Pos { return d.call.End() }
+
+// rangeHead marks the head of a range loop: per iteration it assigns the
+// Key/Value variables from the ranged expression. Kept as a wrapper so
+// transfer functions see the assignment semantics without descending into
+// the loop body (which is its own block).
+type rangeHead struct{ stmt *ast.RangeStmt }
+
+func (r *rangeHead) Pos() token.Pos { return r.stmt.Pos() }
+func (r *rangeHead) End() token.Pos { return r.stmt.End() }
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry     *block
+	exit      *block
+	panicExit *block
+	blocks    []*block
+}
+
+// cfgBuilder carries the construction state.
+type cfgBuilder struct {
+	g *funcCFG
+	// cur is the block under construction; nil after a terminator.
+	cur *block
+	// breakTargets / continueTargets stack the innermost targets;
+	// labels maps label name → target blocks for labeled break/continue
+	// and goto.
+	breakTargets    []*labeledTarget
+	continueTargets []*labeledTarget
+	gotoTargets     map[string]*block
+	// defers collects deferred calls in registration order.
+	defers []*ast.CallExpr
+}
+
+type labeledTarget struct {
+	label string
+	block *block
+}
+
+// buildCFG constructs the CFG of one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{g: g, gotoTargets: make(map[string]*block)}
+	g.entry = b.newBlock()
+	g.exit = b.newBlock()
+	g.panicExit = b.newBlock()
+	b.cur = g.entry
+	b.stmtList(body.List)
+	// Falling off the end of the body is an implicit return.
+	b.jump(g.exit)
+	// Deferred calls run before exit, last registered first.
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		g.exit.nodes = append(g.exit.nodes, &deferRun{call: b.defers[i]})
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// add appends an atomic node to the current block (creating an
+// unreachable block if control already left — diagnostics in dead code
+// are still wanted).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+// jump ends the current block with an edge to dst.
+func (b *cfgBuilder) jump(dst *block) {
+	if b.cur != nil {
+		b.cur.succs = append(b.cur.succs, dst)
+	}
+	b.cur = nil
+}
+
+// startBlock begins a new current block, linking from the previous one.
+func (b *cfgBuilder) startBlock() *block {
+	blk := b.newBlock()
+	b.jump(blk)
+	b.cur = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt lowers one statement. label is the name of an enclosing
+// LabeledStmt when the statement is its direct body.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The label's target block: goto lands here; break/continue with
+		// this label resolve inside the labeled statement.
+		target := b.gotoTarget(s.Label.Name)
+		b.jump(target)
+		b.cur = target
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s.Cond)
+		condBlock := b.cur
+		thenBlock := b.newBlock()
+		condBlock.succs = append(condBlock.succs, thenBlock)
+		join := b.newBlock()
+		b.cur = thenBlock
+		b.stmtList(s.Body.List)
+		b.jump(join)
+		if s.Else != nil {
+			elseBlock := b.newBlock()
+			condBlock.succs = append(condBlock.succs, elseBlock)
+			b.cur = elseBlock
+			b.stmt(s.Else, "")
+			b.jump(join)
+		} else {
+			condBlock.succs = append(condBlock.succs, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		head := b.startBlock()
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		head.succs = append(head.succs, body)
+		if s.Cond != nil {
+			head.succs = append(head.succs, after)
+		}
+		// An infinite `for {}` loop still gets an after block for
+		// break; it just has no edge from the head. continue jumps to
+		// the post block so induction-variable updates stay on the path.
+		cont := head
+		var post *block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.pushLoop(label, after, cont)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if post != nil {
+			b.jump(post)
+			b.cur = post
+			b.stmt(s.Post, "")
+		}
+		b.jump(head)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.startBlock()
+		head.nodes = append(head.nodes, &rangeHead{stmt: s})
+		body := b.newBlock()
+		after := b.newBlock()
+		head.succs = append(head.succs, body, after)
+		b.pushLoop(label, after, head)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.jump(head)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body.List, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.caseClauses(s.Body.List, label, s.Assign)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		if head == nil {
+			head = b.newBlock()
+			b.cur = head
+		}
+		after := b.newBlock()
+		b.pushBreak(label, after)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			head.succs = append(head.succs, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm, "")
+			}
+			b.stmtList(cc.Body)
+			b.jump(after)
+		}
+		b.popBreak()
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.exit)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(b.breakTargets, s.Label); t != nil {
+				b.jump(t)
+			} else {
+				b.cur = nil
+			}
+		case token.CONTINUE:
+			if t := b.findTarget(b.continueTargets, s.Label); t != nil {
+				b.jump(t)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			b.jump(b.gotoTarget(s.Label.Name))
+		case token.FALLTHROUGH:
+			// Handled by caseClauses; nothing to do here.
+		}
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.defers = append(b.defers, s.Call)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				b.jump(b.g.panicExit)
+			}
+		}
+
+	case nil:
+		// Absent optional statement.
+
+	default:
+		// Assign, IncDec, Send, Go, Decl, Empty: atomic.
+		b.add(s)
+	}
+}
+
+// caseClauses lowers the shared switch shape: every clause is a successor
+// of the head block; fallthrough chains a clause body into the next one;
+// a missing default adds a head→after edge.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt, label string, typeAssign ast.Stmt) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	after := b.newBlock()
+	b.pushBreak(label, after)
+	hasDefault := false
+	bodies := make([]*block, len(clauses))
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		blk := b.newBlock()
+		bodies[i] = blk
+		head.succs = append(head.succs, blk)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if typeAssign != nil {
+			b.stmt(typeAssign, "")
+		}
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(st, "")
+		}
+		if fallsThrough && i+1 < len(bodies) {
+			b.jump(bodies[i+1])
+		} else {
+			b.jump(after)
+		}
+	}
+	if !hasDefault {
+		head.succs = append(head.succs, after)
+	}
+	b.popBreak()
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *block) {
+	b.breakTargets = append(b.breakTargets, &labeledTarget{label: label, block: brk})
+	b.continueTargets = append(b.continueTargets, &labeledTarget{label: label, block: cont})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+}
+
+func (b *cfgBuilder) pushBreak(label string, brk *block) {
+	b.breakTargets = append(b.breakTargets, &labeledTarget{label: label, block: brk})
+}
+
+func (b *cfgBuilder) popBreak() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+}
+
+// findTarget resolves a break/continue target: the innermost entry, or
+// the one carrying the label.
+func (b *cfgBuilder) findTarget(stack []*labeledTarget, label *ast.Ident) *block {
+	if label == nil {
+		if len(stack) == 0 {
+			return nil
+		}
+		return stack[len(stack)-1].block
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label.Name {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// gotoTarget returns (creating on first reference) the block a label
+// names, so forward gotos resolve.
+func (b *cfgBuilder) gotoTarget(name string) *block {
+	if blk, ok := b.gotoTargets[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.gotoTargets[name] = blk
+	return blk
+}

@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseFuncCFG type-checks a snippet (wrapped in a fixed package prelude
+// with src/sink/clean helpers), finds func f, and builds its CFG.
+func parseFuncCFG(t *testing.T, body string) (*token.FileSet, *funcCFG, *types.Info) {
+	t.Helper()
+	src := `package p
+
+func src() int   { return 1 }
+func sink(x int) {}
+func clean() int { return 0 }
+
+func f(n int, c bool) {
+` + body + `
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := newTypesInfo()
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return fset, buildCFG(fd.Body), info
+		}
+	}
+	t.Fatal("func f not found")
+	return nil, nil, nil
+}
+
+// blocksContaining returns the blocks holding a node satisfying pred.
+func blocksContaining(g *funcCFG, pred func(ast.Node) bool) []*block {
+	var out []*block
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			if pred(n) {
+				out = append(out, b)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func isCallTo(n ast.Node, name string) bool {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// TestCFGIfElseJoin pins the branch shape: the condition block forks to
+// both arms, and both arms rejoin before the trailing statement.
+func TestCFGIfElseJoin(t *testing.T) {
+	_, g, _ := parseFuncCFG(t, `
+	if c {
+		src()
+	} else {
+		clean()
+	}
+	sink(n)
+`)
+	conds := blocksContaining(g, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		return ok && id.Name == "c"
+	})
+	if len(conds) != 1 {
+		t.Fatalf("condition blocks = %d, want 1", len(conds))
+	}
+	if got := len(conds[0].succs); got != 2 {
+		t.Fatalf("condition block successors = %d, want 2 (then, else)", got)
+	}
+	thenBlk := blocksContaining(g, func(n ast.Node) bool { return isCallTo(n, "src") })
+	elseBlk := blocksContaining(g, func(n ast.Node) bool { return isCallTo(n, "clean") })
+	joinBlk := blocksContaining(g, func(n ast.Node) bool { return isCallTo(n, "sink") })
+	if len(thenBlk) != 1 || len(elseBlk) != 1 || len(joinBlk) != 1 {
+		t.Fatalf("arm/join blocks: then=%d else=%d join=%d, want 1 each", len(thenBlk), len(elseBlk), len(joinBlk))
+	}
+	for _, arm := range []*block{thenBlk[0], elseBlk[0]} {
+		if len(arm.succs) != 1 || arm.succs[0] != joinBlk[0] {
+			t.Errorf("arm block %d does not jump straight to the join", arm.index)
+		}
+	}
+}
+
+// TestCFGForContinueTargetsPost pins the loop shape that once had a bug:
+// continue must route through the post statement (the induction update),
+// not jump straight to the head.
+func TestCFGForContinueTargetsPost(t *testing.T) {
+	_, g, _ := parseFuncCFG(t, `
+	for i := 0; i < n; i++ {
+		if c {
+			continue
+		}
+		sink(i)
+	}
+`)
+	posts := blocksContaining(g, func(n ast.Node) bool {
+		_, ok := n.(*ast.IncDecStmt)
+		return ok
+	})
+	if len(posts) != 1 {
+		t.Fatalf("post blocks = %d, want 1", len(posts))
+	}
+	post := posts[0]
+	heads := blocksContaining(g, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		return ok && be.Op == token.LSS
+	})
+	if len(heads) != 1 {
+		t.Fatalf("head blocks = %d, want 1", len(heads))
+	}
+	if len(post.succs) != 1 || post.succs[0] != heads[0] {
+		t.Fatalf("post block must have the back edge to the loop head")
+	}
+	preds := 0
+	for _, b := range g.blocks {
+		for _, s := range b.succs {
+			if s == post {
+				preds++
+			}
+		}
+	}
+	if preds != 2 {
+		t.Errorf("post block predecessors = %d, want 2 (fallthrough body end and continue)", preds)
+	}
+}
+
+// TestCFGDeferLIFO pins defer semantics: every deferred call is appended
+// to the exit block as a deferRun, last registered first.
+func TestCFGDeferLIFO(t *testing.T) {
+	_, g, _ := parseFuncCFG(t, `
+	defer src()
+	defer clean()
+	sink(n)
+`)
+	var order []string
+	for _, n := range g.exit.nodes {
+		dr, ok := n.(*deferRun)
+		if !ok {
+			continue
+		}
+		order = append(order, dr.call.Fun.(*ast.Ident).Name)
+	}
+	if strings.Join(order, ",") != "clean,src" {
+		t.Errorf("exit deferRun order = %v, want [clean src] (LIFO)", order)
+	}
+}
+
+// TestCFGPanicPath pins that an explicit panic ends the path in panicExit,
+// not exit: code after it is a fresh (unreachable) block and the panic
+// path never reaches the leak check at exit.
+func TestCFGPanicPath(t *testing.T) {
+	_, g, _ := parseFuncCFG(t, `
+	if c {
+		panic("boom")
+	}
+	sink(n)
+`)
+	panics := blocksContaining(g, func(n ast.Node) bool { return isCallTo(n, "panic") })
+	if len(panics) != 1 {
+		t.Fatalf("panic blocks = %d, want 1", len(panics))
+	}
+	if len(panics[0].succs) != 1 || panics[0].succs[0] != g.panicExit {
+		t.Errorf("panic block must jump to panicExit")
+	}
+}
+
+// miniTaint runs a toy taint analysis over f's CFG: src() taints, plain
+// values clean, sink(x) records the line when x is tainted. It exercises
+// the dataflow engine (fixpoint, join, report pass, deferRun) without any
+// analyzer on top.
+func miniTaint(t *testing.T, body string) []int {
+	t.Helper()
+	fset, g, info := parseFuncCFG(t, body)
+	var hits []int
+
+	isSrcCall := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "src"
+	}
+	taintedExpr := func(e ast.Expr, f facts) bool {
+		found := false
+		inspectShallow(e, func(m ast.Node) bool {
+			if isSrc, ok := m.(*ast.CallExpr); ok && isSrcCall(isSrc) {
+				found = true
+			}
+			if id, ok := m.(*ast.Ident); ok {
+				if v, ok := objOf(info, id).(*types.Var); ok && f.get(v) == 1 {
+					found = true
+				}
+			}
+			return true
+		})
+		return found
+	}
+	checkSink := func(n ast.Node, f facts, report bool) {
+		inspectShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" {
+				for _, arg := range call.Args {
+					if taintedExpr(arg, f) && report {
+						hits = append(hits, fset.Position(call.Pos()).Line)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	fa := &flowAnalysis{
+		transfer: func(n ast.Node, f facts, report bool) {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return
+				}
+				for i, lhs := range n.Lhs {
+					v := localVar(info, lhs)
+					if v == nil {
+						continue
+					}
+					if taintedExpr(n.Rhs[i], f) {
+						f.set(v, 1)
+					} else {
+						f.set(v, 0)
+					}
+				}
+			case *ast.DeferStmt:
+				// Checked at exit via deferRun, with exit facts.
+			case *deferRun:
+				checkSink(n.call, f, report)
+			default:
+				checkSink(n, f, report)
+			}
+		},
+		join: func(a, b fact) fact {
+			if a == 1 || b == 1 {
+				return 1
+			}
+			return 0
+		},
+	}
+	fa.run(g)
+	return hits
+}
+
+// TestDataflowBranchJoin: taint acquired on one branch survives the join.
+func TestDataflowBranchJoin(t *testing.T) {
+	hits := miniTaint(t, `
+	x := 0
+	if c {
+		x = src()
+	}
+	sink(x)
+`)
+	if len(hits) != 1 {
+		t.Fatalf("sink hits = %v, want exactly one (taint joins from the then-branch)", hits)
+	}
+}
+
+// TestDataflowStrongUpdate: overwriting with a clean value clears taint.
+func TestDataflowStrongUpdate(t *testing.T) {
+	hits := miniTaint(t, `
+	x := src()
+	x = clean()
+	sink(x)
+`)
+	if len(hits) != 0 {
+		t.Fatalf("sink hits = %v, want none (strong update cleared the taint)", hits)
+	}
+}
+
+// TestDataflowLoopBackEdge: a sink at the top of a loop body sees taint
+// assigned later in the body — only the fixpoint through the back edge
+// finds this.
+func TestDataflowLoopBackEdge(t *testing.T) {
+	hits := miniTaint(t, `
+	x := 0
+	for i := 0; i < n; i++ {
+		sink(x)
+		x = src()
+	}
+`)
+	if len(hits) != 1 {
+		t.Fatalf("sink hits = %v, want one (taint flows around the back edge)", hits)
+	}
+}
+
+// TestDataflowLoopClean: a value cleaned every iteration never reaches
+// the sink tainted, even through the back edge.
+func TestDataflowLoopClean(t *testing.T) {
+	hits := miniTaint(t, `
+	x := 0
+	for i := 0; i < n; i++ {
+		x = src()
+		x = clean()
+	}
+	sink(x)
+`)
+	if len(hits) != 0 {
+		t.Fatalf("sink hits = %v, want none", hits)
+	}
+}
+
+// TestDataflowDeferSeesExitFacts: a deferred sink observes the facts at
+// function exit (may-run semantics), not at the defer site.
+func TestDataflowDeferSeesExitFacts(t *testing.T) {
+	hits := miniTaint(t, `
+	x := 0
+	defer sink(x)
+	x = src()
+`)
+	if len(hits) != 1 {
+		t.Fatalf("sink hits = %v, want one (deferred call runs with exit facts)", hits)
+	}
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"maps"
+)
+
+// This file implements the forward-dataflow engine the flow-sensitive
+// analyzers run over funcCFG. The abstract state is a map from variables
+// (types.Object) to a small per-analysis fact value; the engine iterates
+// block transfer functions to a fixpoint and then performs one reporting
+// pass with the converged entry facts, so diagnostics fire exactly once
+// per offending node.
+
+// fact is one lattice value attached to one variable. The meaning of the
+// values is private to each analysis; 0 (the absent map entry) must mean
+// "nothing known".
+type fact uint8
+
+// facts maps tracked variables to their current fact. The zero entry is
+// never stored: setting a variable to 0 deletes it.
+type facts map[types.Object]fact
+
+func (f facts) get(o types.Object) fact { return f[o] }
+
+func (f facts) set(o types.Object, v fact) {
+	if v == 0 {
+		delete(f, o)
+	} else {
+		f[o] = v
+	}
+}
+
+// flowAnalysis is one forward dataflow problem.
+type flowAnalysis struct {
+	// transfer applies the effect of one atomic CFG node to the state.
+	// When report is true the converged facts are flowing through and
+	// the transfer function may call Reportf; diagnostics must only be
+	// issued in that mode.
+	transfer func(n ast.Node, f facts, report bool)
+	// join merges one variable's facts from two predecessor paths.
+	// It must be commutative; the engine applies it pointwise. A zero
+	// result drops the variable.
+	join func(a, b fact) fact
+}
+
+// maxIterations caps fixpoint iteration as a defence against a
+// non-monotone transfer function; real functions converge in a handful
+// of passes (nesting depth of the loops).
+const maxIterations = 64
+
+// run iterates the analysis to a fixpoint over the CFG and then makes the
+// reporting pass. It returns the facts at the end of the exit block, so
+// callers can implement "must hold at function exit" checks.
+func (fa *flowAnalysis) run(g *funcCFG) facts {
+	in := make(map[*block]facts, len(g.blocks))
+	out := make(map[*block]facts, len(g.blocks))
+	preds := make(map[*block][]*block, len(g.blocks))
+	for _, b := range g.blocks {
+		for _, s := range b.succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	changed := true
+	for iter := 0; changed && iter < maxIterations; iter++ {
+		changed = false
+		for _, b := range g.blocks {
+			newIn := make(facts)
+			if b == g.entry {
+				// entry has no facts.
+			}
+			for _, p := range preds[b] {
+				fa.merge(newIn, out[p])
+			}
+			newOut := maps.Clone(newIn)
+			for _, n := range b.nodes {
+				fa.transfer(n, newOut, false)
+			}
+			if !maps.Equal(newIn, in[b]) || !maps.Equal(newOut, out[b]) {
+				changed = true
+			}
+			in[b], out[b] = newIn, newOut
+		}
+	}
+
+	// Reporting pass: re-run each block's transfers from its converged
+	// entry facts with reporting enabled.
+	for _, b := range g.blocks {
+		f := maps.Clone(in[b])
+		if f == nil {
+			f = make(facts)
+		}
+		for _, n := range b.nodes {
+			fa.transfer(n, f, true)
+		}
+	}
+
+	exit := maps.Clone(in[g.exit])
+	if exit == nil {
+		exit = make(facts)
+	}
+	for _, n := range g.exit.nodes {
+		fa.transfer(n, exit, false)
+	}
+	return exit
+}
+
+// merge folds src into dst pointwise with the analysis join.
+func (fa *flowAnalysis) merge(dst, src facts) {
+	for o, v := range src {
+		if cur, ok := dst[o]; ok {
+			dst.set(o, fa.join(cur, v))
+		} else {
+			dst.set(o, fa.join(0, v))
+		}
+	}
+}
+
+// inspectShallow walks n without descending into function literals.
+// Nested literals are separate functions: their bodies run at another
+// time (or never), so flow facts must not leak across the boundary. The
+// visitor receives each literal once (and then the walk skips its body),
+// letting callers model capture/escape explicitly.
+//
+// The CFG's synthetic wrappers are unwrapped here so transfer functions
+// that fall through to a generic scan never hand ast.Inspect a node type
+// it cannot walk: a deferRun scans its call, a rangeHead scans the
+// ranged expression and the iteration variables (never the loop body,
+// which is its own block).
+func inspectShallow(n ast.Node, visit func(ast.Node) bool) {
+	switch n := n.(type) {
+	case *deferRun:
+		inspectShallow(n.call, visit)
+		return
+	case *rangeHead:
+		inspectShallow(n.stmt.X, visit)
+		if n.stmt.Key != nil {
+			inspectShallow(n.stmt.Key, visit)
+		}
+		if n.stmt.Value != nil {
+			inspectShallow(n.stmt.Value, visit)
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if m == n {
+			return visit(m)
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			visit(m)
+			return false
+		}
+		return visit(m)
+	})
+}
+
+// objOf resolves an identifier to its object, following uses and defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// localVar returns the *types.Var for an identifier naming a
+// function-local variable (not a field, not package-level), or nil.
+func localVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := objOf(info, id).(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return nil // package-level
+	}
+	return v
+}

@@ -1,0 +1,336 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc forbids allocation-inducing constructs inside functions
+// annotated //dtlint:hotpath — the static complement of the
+// testing.AllocsPerRun pins: the runtime tests prove the steady state is
+// zero-alloc, this analyzer names the construct that would regress it.
+//
+// Flagged constructs:
+//
+//   - closures capturing enclosing variables (the capture record heaps)
+//   - interface boxing: a non-pointer-shaped concrete value converted to
+//     an interface type in a call argument, assignment, or return
+//   - calls with non-empty variadic arguments (the argument slice heaps)
+//   - append (growth reallocates the backing array)
+//   - make, new, &T{…}, and map/slice composite literals
+//   - string concatenation (+ / += on strings)
+//
+// Cold sub-paths inside a hot function — a pool-miss constructor, an
+// amortized append into retained capacity — carry
+// //dtlint:allow hotalloc: <reason>, which documents the allocation
+// budget where it is spent. The check is not transitive: a call to a
+// function that allocates internally is that function's business — pin
+// it with its own annotation and alloc test.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocation-inducing constructs in //dtlint:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, hf := range pass.HotFuncs() {
+		checkHotBody(pass, hf)
+	}
+	return nil
+}
+
+func checkHotBody(pass *Pass, hf hotFunc) {
+	info := pass.TypesInfo
+	ast.Inspect(hf.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal nested in a hot body is built on the hot path:
+			// if it captures, the capture record allocates here. Its own
+			// body is a different execution context; only analyze it if
+			// it carries its own annotation.
+			if caps := capturedVars(info, n, hf.Body); len(caps) > 0 {
+				pass.Reportf(n.Pos(),
+					"closure captures %s and allocates on the hot path (%s); hoist the closure to construction time or pass state through ScheduleArg",
+					caps[0].Name(), hf.Name)
+			}
+			return false
+
+		case *ast.CallExpr:
+			checkHotCall(pass, hf, n)
+
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(),
+					"map literal allocates on the hot path (%s); hoist the map to construction time", hf.Name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(),
+					"slice literal allocates on the hot path (%s); hoist the slice to construction time or use a fixed array", hf.Name)
+			}
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(),
+						"&composite literal allocates on the hot path (%s); recycle from a pool or preallocate", hf.Name)
+				}
+			}
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n.X)) && !isConstant(info, n) {
+				pass.Reportf(n.OpPos,
+					"string concatenation allocates on the hot path (%s); precompute the string or use a fixed buffer", hf.Name)
+			}
+
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info.TypeOf(n.Lhs[0])) {
+				pass.Reportf(n.TokPos,
+					"string += allocates on the hot path (%s); precompute the string or use a fixed buffer", hf.Name)
+			}
+			checkHotAssign(pass, hf, n)
+
+		case *ast.ReturnStmt:
+			checkHotReturn(pass, hf, n)
+
+		case *ast.ValueSpec:
+			checkHotValueSpec(pass, hf, n)
+		}
+		return true
+	})
+}
+
+// checkHotCall handles builtins (append/make/new), variadic argument
+// slices, interface boxing of arguments, and conversions to interface
+// types.
+func checkHotCall(pass *Pass, hf hotFunc, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch {
+		case isBuiltin(info, id, "append"):
+			pass.Reportf(call.Pos(),
+				"append may grow the backing array on the hot path (%s); preallocate capacity or annotate the amortized case", hf.Name)
+			return
+		case isBuiltin(info, id, "make"):
+			pass.Reportf(call.Pos(),
+				"make allocates on the hot path (%s); hoist to construction time", hf.Name)
+			return
+		case isBuiltin(info, id, "new"):
+			pass.Reportf(call.Pos(),
+				"new allocates on the hot path (%s); recycle from a pool or preallocate", hf.Name)
+			return
+		case isBuiltin(info, id, "panic"), isBuiltin(info, id, "recover"),
+			isBuiltin(info, id, "len"), isBuiltin(info, id, "cap"),
+			isBuiltin(info, id, "delete"), isBuiltin(info, id, "copy"),
+			isBuiltin(info, id, "print"), isBuiltin(info, id, "println"),
+			isBuiltin(info, id, "min"), isBuiltin(info, id, "max"),
+			isBuiltin(info, id, "clear"):
+			return
+		}
+	}
+
+	tv, ok := info.Types[call.Fun]
+	if ok && tv.IsType() {
+		// Conversion T(x): boxing when T is an interface.
+		if isInterface(tv.Type) && len(call.Args) == 1 && boxes(info, call.Args[0]) {
+			pass.Reportf(call.Pos(),
+				"conversion to interface boxes a %s on the hot path (%s)", typeName(info.TypeOf(call.Args[0])), hf.Name)
+		}
+		return
+	}
+
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	np := params.Len()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no repack
+			}
+			if i == np-1 {
+				pass.Reportf(arg.Pos(),
+					"variadic call allocates its argument slice on the hot path (%s); use a fixed-arity helper", hf.Name)
+			}
+			paramType = params.At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			paramType = params.At(i).Type()
+		default:
+			continue
+		}
+		if isInterface(paramType) && boxes(info, arg) {
+			pass.Reportf(arg.Pos(),
+				"argument boxes a %s into an interface on the hot path (%s); pass a pointer or a concrete type", typeName(info.TypeOf(arg)), hf.Name)
+		}
+	}
+}
+
+// checkHotAssign flags interface boxing on assignment: an interface-typed
+// LHS receiving a non-pointer-shaped concrete RHS.
+func checkHotAssign(pass *Pass, hf hotFunc, as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	info := pass.TypesInfo
+	for i, lhs := range as.Lhs {
+		var lt types.Type
+		if as.Tok == token.DEFINE {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if o := info.Defs[id]; o != nil {
+					lt = o.Type()
+				}
+			}
+		}
+		if lt == nil {
+			lt = info.TypeOf(lhs)
+		}
+		if lt != nil && isInterface(lt) && boxes(info, as.Rhs[i]) {
+			pass.Reportf(as.Rhs[i].Pos(),
+				"assignment boxes a %s into an interface on the hot path (%s)", typeName(info.TypeOf(as.Rhs[i])), hf.Name)
+		}
+	}
+}
+
+// checkHotReturn flags interface boxing of return values.
+func checkHotReturn(pass *Pass, hf hotFunc, ret *ast.ReturnStmt) {
+	fnType := enclosingResults(pass, hf)
+	if fnType == nil || fnType.Len() != len(ret.Results) {
+		return
+	}
+	for i, r := range ret.Results {
+		if isInterface(fnType.At(i).Type()) && boxes(pass.TypesInfo, r) {
+			pass.Reportf(r.Pos(),
+				"return boxes a %s into an interface on the hot path (%s)", typeName(pass.TypesInfo.TypeOf(r)), hf.Name)
+		}
+	}
+}
+
+// checkHotValueSpec flags `var x I = v` boxing.
+func checkHotValueSpec(pass *Pass, hf hotFunc, vs *ast.ValueSpec) {
+	info := pass.TypesInfo
+	for i, name := range vs.Names {
+		if i >= len(vs.Values) {
+			break
+		}
+		o := info.Defs[name]
+		if o == nil {
+			continue
+		}
+		if isInterface(o.Type()) && boxes(info, vs.Values[i]) {
+			pass.Reportf(vs.Values[i].Pos(),
+				"declaration boxes a %s into an interface on the hot path (%s)", typeName(info.TypeOf(vs.Values[i])), hf.Name)
+		}
+	}
+}
+
+// enclosingResults returns the result tuple of the hot function.
+func enclosingResults(pass *Pass, hf hotFunc) *types.Tuple {
+	switch n := hf.Node.(type) {
+	case *ast.FuncDecl:
+		if o, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok {
+			return o.Type().(*types.Signature).Results()
+		}
+	case *ast.FuncLit:
+		if sig, ok := pass.TypesInfo.TypeOf(n).(*types.Signature); ok {
+			return sig.Results()
+		}
+	}
+	return nil
+}
+
+// boxes reports whether passing e where an interface is expected heaps a
+// copy: the static type is concrete and not pointer-shaped. nil and
+// interface-typed expressions convert without allocation; pointers,
+// channels, maps, and funcs fit in the interface word directly.
+func boxes(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.IsNil() {
+		return false
+	}
+	t := tv.Type
+	if t == nil || isInterface(t) {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return false
+	}
+	return true
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstant(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isBuiltin(info *types.Info, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// capturedVars lists variables a function literal references that are
+// declared outside it (but inside the enclosing function body) — the
+// captures that force the closure onto the heap.
+func capturedVars(info *types.Info, lit *ast.FuncLit, enclosing *ast.BlockStmt) []*types.Var {
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		// Declared inside the literal (params, locals): not a capture.
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		// Package-level variables are shared, not captured.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+func typeName(t types.Type) string {
+	if t == nil {
+		return "value"
+	}
+	return t.String()
+}

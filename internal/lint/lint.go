@@ -4,12 +4,21 @@
 // few neighbouring correctness rules — from code-review folklore into
 // mechanically checked invariants.
 //
-// The suite ships four analyzers (see their Doc strings and README.md):
+// The suite ships eight analyzers (see their Doc strings and README.md).
+// Four are syntax/type-level:
 //
 //	nondeterm — wall-clock time and ambient randomness in simulator code
 //	maporder  — map iteration on event-scheduling / packet-ordering paths
 //	floatcmp  — exact float equality in the numeric analysis packages
 //	simtime   — raw numeric literals materializing as sim.Time
+//
+// Four are flow-sensitive, built on the intra-procedural CFG and forward
+// dataflow framework in cfg.go / dataflow.go:
+//
+//	hotalloc   — no allocation-inducing constructs in //dtlint:hotpath functions
+//	pktlife    — every AllocPacket reaches FreePacket or a handoff on all paths
+//	detflow    — taint from nondeterministic sources must not reach scheduling
+//	soloengine — no goroutines, channel ops, or global writes in the engine core
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Reportf) but is built on the standard library alone:
@@ -17,12 +26,13 @@
 // go/types using the source importer, so the tool works offline with no
 // third-party dependencies.
 //
-// A finding can be suppressed — with a justification — by an annotation on
-// the offending line or the line directly above it:
+// A finding can be suppressed — with a mandatory justification — by an
+// annotation on the offending line or the line directly above it:
 //
-//	//dtlint:allow nondeterm -- the one seeded root source
+//	//dtlint:allow nondeterm: the one seeded root source
 //
-// Run the suite with `go run ./cmd/dtlint ./...`.
+// An annotation without a reason suppresses nothing and is itself a
+// diagnostic. Run the suite with `go run ./cmd/dtlint ./...`.
 package lint
 
 import (
@@ -63,6 +73,7 @@ type Pass struct {
 
 	allow allowIndex
 	diags *[]Diagnostic
+	hot   *hotIndex
 }
 
 // Diagnostic is one finding, resolved to a file position.
@@ -96,15 +107,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full dtlint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NonDeterm, MapOrder, FloatCmp, SimTime}
+	return []*Analyzer{
+		NonDeterm, MapOrder, FloatCmp, SimTime,
+		HotAlloc, PktLife, DetFlow, SoloEngine,
+	}
 }
 
 // Run applies the analyzers to the loaded packages and returns the merged
-// findings sorted by position.
+// findings sorted by position. Malformed //dtlint:allow annotations —
+// missing a reason, naming no (or an unknown) analyzer — are reported as
+// framework diagnostics under the "allow" name regardless of which
+// analyzers run.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		allow := buildAllowIndex(pkg.Fset, pkg.Files)
+		allow, allowDiags := buildAllowIndex(pkg.Fset, pkg.Files)
+		diags = append(diags, allowDiags...)
 		for _, a := range analyzers {
 			if a.Applies != nil && !a.Applies(pkg.ImportPath) {
 				continue
@@ -136,7 +154,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	// Flow-sensitive analyzers may visit one syntactic site through more
+	// than one CFG node (a deferred call registers where it is written and
+	// runs at function exit); identical findings collapse to one.
+	dedup := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		dedup = append(dedup, d)
+	}
+	return dedup, nil
 }
 
 // appliesTo builds an Applies filter matching the given import paths and
@@ -150,53 +178,4 @@ func appliesTo(paths ...string) func(string) bool {
 		}
 		return false
 	}
-}
-
-// allowIndex maps filename → line → analyzer names a //dtlint:allow
-// annotation covers. An annotation covers its own line and the line below
-// it, so both same-line and line-above placements work.
-type allowIndex map[string]map[int]map[string]bool
-
-func (ai allowIndex) allows(pos token.Position, analyzer string) bool {
-	lines := ai[pos.Filename]
-	if lines == nil {
-		return false
-	}
-	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
-}
-
-const allowMarker = "dtlint:allow"
-
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
-	idx := make(allowIndex)
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				text, ok := strings.CutPrefix(body, allowMarker)
-				if !ok {
-					continue
-				}
-				// Everything after "--" is the human justification.
-				names, _, _ := strings.Cut(text, "--")
-				pos := fset.Position(c.Pos())
-				lines := idx[pos.Filename]
-				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					idx[pos.Filename] = lines
-				}
-				set := lines[pos.Line]
-				if set == nil {
-					set = make(map[string]bool)
-					lines[pos.Line] = set
-				}
-				for _, n := range strings.Split(names, ",") {
-					if n = strings.TrimSpace(n); n != "" {
-						set[n] = true
-					}
-				}
-			}
-		}
-	}
-	return idx
 }

@@ -115,6 +115,22 @@ func TestSimTimeFixture(t *testing.T) {
 	runFixture(t, SimTime, "simtime.go", "dtdctcp/internal/lint/fixture")
 }
 
+func TestHotAllocFixture(t *testing.T) {
+	runFixture(t, HotAlloc, "hotalloc.go", "dtdctcp/internal/sim/fixture")
+}
+
+func TestPktLifeFixture(t *testing.T) {
+	runFixture(t, PktLife, "pktlife.go", "dtdctcp/internal/netsim/fixture")
+}
+
+func TestDetFlowFixture(t *testing.T) {
+	runFixture(t, DetFlow, "detflow.go", "dtdctcp/internal/sim/fixture")
+}
+
+func TestSoloEngineFixture(t *testing.T) {
+	runFixture(t, SoloEngine, "soloengine.go", "dtdctcp/internal/sim/fixture")
+}
+
 // TestScoping pins each analyzer's package filter: the suite must bite in
 // the simulator packages and stay out of the ones where the flagged
 // patterns are legitimate.
@@ -134,6 +150,17 @@ func TestScoping(t *testing.T) {
 		{FloatCmp, "dtdctcp/internal/control", true},
 		{FloatCmp, "dtdctcp/internal/fluid", true},
 		{FloatCmp, "dtdctcp/internal/netsim", false},
+		{PktLife, "dtdctcp/internal/netsim", true},
+		{PktLife, "dtdctcp/internal/sim", true},
+		{PktLife, "dtdctcp/internal/aqm", false},
+		{PktLife, "dtdctcp/internal/stats", false},
+		{DetFlow, "dtdctcp/internal/sim", true},
+		{DetFlow, "dtdctcp/internal/aqm", true},
+		{DetFlow, "dtdctcp/internal/runner", false},
+		{SoloEngine, "dtdctcp/internal/netsim", true},
+		{SoloEngine, "dtdctcp/internal/chaos", true},
+		{SoloEngine, "dtdctcp/internal/runner", false},
+		{SoloEngine, "dtdctcp/internal/workload", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Applies(c.path); got != c.want {
@@ -143,42 +170,176 @@ func TestScoping(t *testing.T) {
 	if SimTime.Applies != nil {
 		t.Error("simtime must apply everywhere sim.Time flows; expected nil Applies")
 	}
+	if HotAlloc.Applies != nil {
+		t.Error("hotalloc scopes by //dtlint:hotpath annotation, not package; expected nil Applies")
+	}
+	if len(Analyzers()) != 8 {
+		t.Errorf("suite size = %d, want 8", len(Analyzers()))
+	}
 }
 
-// TestAllowIndex pins the annotation grammar: names before the "--"
-// justification, same-line and line-above coverage, multiple names.
+// TestAllowIndex pins the coverage rule: an annotation suppresses on its
+// own line and the line directly below it, for every listed analyzer.
 func TestAllowIndex(t *testing.T) {
 	src := `package p
 
-//dtlint:allow alpha,beta -- two analyzers at once
+//dtlint:allow nondeterm,maporder: two analyzers at once
 var a int
 
-var b int //dtlint:allow gamma -- same line
+var b int //dtlint:allow floatcmp -- same line, legacy separator
 `
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx := buildAllowIndex(fset, []*ast.File{f})
+	idx, diags := buildAllowIndex(fset, []*ast.File{f})
+	if len(diags) != 0 {
+		t.Fatalf("well-formed annotations produced diagnostics: %v", diags)
+	}
 	cases := []struct {
 		line     int
 		analyzer string
 		want     bool
 	}{
-		{3, "alpha", true},  // annotation's own line
-		{4, "alpha", true},  // line below
-		{4, "beta", true},   // second name of the list
-		{5, "alpha", false}, // two lines below: out of range
-		{6, "gamma", true},  // same-line placement
-		{4, "gamma", false},
-		{3, "delta", false}, // unknown analyzer name
+		{3, "nondeterm", true},  // annotation's own line
+		{4, "nondeterm", true},  // line below
+		{4, "maporder", true},   // second name of the list
+		{5, "nondeterm", false}, // two lines below: out of range
+		{6, "floatcmp", true},   // same-line placement
+		{4, "floatcmp", false},
+		{3, "simtime", false}, // analyzer not listed
 	}
 	for _, c := range cases {
 		pos := token.Position{Filename: "p.go", Line: c.line}
 		if got := idx.allows(pos, c.analyzer); got != c.want {
 			t.Errorf("allows(line %d, %q) = %v, want %v", c.line, c.analyzer, got, c.want)
 		}
+	}
+}
+
+// TestParseAllowComment pins the annotation grammar itself.
+func TestParseAllowComment(t *testing.T) {
+	cases := []struct {
+		text   string
+		names  []string
+		reason string
+		ok     bool
+	}{
+		{"//dtlint:allow nondeterm: seeded root", []string{"nondeterm"}, "seeded root", true},
+		{"//dtlint:allow a,b -- legacy", []string{"a", "b"}, "legacy", true},
+		{"//dtlint:allow a, b :  spaced ", []string{"a", "b"}, "spaced", true},
+		{"//dtlint:allow a-b: hyphenated name", []string{"a-b"}, "hyphenated name", true},
+		{"//dtlint:allow x: reason: with colons", []string{"x"}, "reason: with colons", true},
+		{"//dtlint:allow maporder -- note: earliest separator wins", []string{"maporder"}, "note: earliest separator wins", true},
+		{"//dtlint:allow", nil, "", true},                            // malformed: no names, no reason
+		{"//dtlint:allow hotalloc:", []string{"hotalloc"}, "", true}, // malformed: empty reason
+		{"//dtlint:allow : orphan reason", nil, "orphan reason", true},
+		{"//dtlint:allowance is a word", nil, "", false},
+		{"// ordinary comment", nil, "", false},
+		{"//dtlint:hotpath", nil, "", false},
+	}
+	for _, c := range cases {
+		names, reason, ok := parseAllowComment(c.text)
+		if ok != c.ok || reason != c.reason || strings.Join(names, "|") != strings.Join(c.names, "|") {
+			t.Errorf("parseAllowComment(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, names, reason, ok, c.names, c.reason, c.ok)
+		}
+	}
+}
+
+// TestAllowDiagnostics pins the reason requirement: malformed annotations
+// suppress nothing and surface as framework diagnostics under "allow".
+func TestAllowDiagnostics(t *testing.T) {
+	src := `package p
+
+//dtlint:allow nondeterm
+var a int
+
+//dtlint:allow
+var b int
+
+//dtlint:allow nosuchcheck: imaginary analyzer
+var c int
+
+//dtlint:allow maporder: fine as is
+var d int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, diags := buildAllowIndex(fset, []*ast.File{f})
+	if len(diags) != 3 {
+		t.Fatalf("diagnostics = %d (%v), want 3 (reasonless, nameless, unknown name)", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != allowDiagAnalyzer {
+			t.Errorf("diagnostic analyzer = %q, want %q", d.Analyzer, allowDiagAnalyzer)
+		}
+	}
+	if msgs := fmt.Sprint(diags); !strings.Contains(msgs, "without a reason") ||
+		!strings.Contains(msgs, "names no analyzer") ||
+		!strings.Contains(msgs, "unknown analyzer") {
+		t.Errorf("diagnostics missing expected messages: %v", diags)
+	}
+	// The reasonless annotation must not have entered the index…
+	if idx.allows(token.Position{Filename: "p.go", Line: 4}, "nondeterm") {
+		t.Error("reasonless annotation suppressed a finding")
+	}
+	// …while the well-formed one did.
+	if !idx.allows(token.Position{Filename: "p.go", Line: 13}, "maporder") {
+		t.Error("well-formed annotation missing from the index")
+	}
+}
+
+// TestHotIndex pins the //dtlint:hotpath placement rules: doc comment or
+// line above for declarations, own line or line above for literals.
+func TestHotIndex(t *testing.T) {
+	src := `package p
+
+// hotDoc is pinned by its doc comment.
+//dtlint:hotpath
+func hotDoc() {}
+
+//dtlint:hotpath
+func hotLineAbove() {}
+
+func cold() {}
+
+var fns []func()
+
+func install() {
+	//dtlint:hotpath
+	fns = append(fns, func() {})
+	fns = append(fns, func() {})
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := newTypesInfo()
+	conf := types.Config{}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{
+		Fset:      fset,
+		Files:     []*ast.File{f},
+		Pkg:       tpkg,
+		TypesInfo: info,
+	}
+	var names []string
+	for _, hf := range pass.HotFuncs() {
+		names = append(names, hf.Name)
+	}
+	want := "hotDoc,hotLineAbove,func literal"
+	if got := strings.Join(names, ","); got != want {
+		t.Errorf("HotFuncs = %q, want %q (cold and the unmarked literal excluded)", got, want)
 	}
 }
 

@@ -1,0 +1,113 @@
+// Fixture for the detflow taint analysis: values derived from wall
+// clocks, global rand, channel receives, or map iteration order must not
+// reach the engine's scheduling interface or exported result fields. The
+// local Engine/Timer types mirror internal/sim; sinks match by name.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Engine struct{ now int64 }
+
+func (e *Engine) Schedule(at int64, fn func())     {}
+func (e *Engine) After(d time.Duration, fn func()) {}
+func (e *Engine) RunUntil(t int64)                 {}
+func (e *Engine) Now() int64                       { return e.now }
+func (e *Engine) Rand() *rand.Rand                 { return nil }
+
+type Timer struct{}
+
+func (t *Timer) Reset(d time.Duration) {}
+
+type Summary struct {
+	Final int64
+	inner int64
+}
+
+func wallClock(e *Engine, fn func()) {
+	t0 := time.Now()
+	e.After(time.Since(t0), fn) // want "nondeterministic value reaches Engine.After"
+}
+
+func wallClockVar(e *Engine, fn func()) {
+	now := time.Now().UnixNano()
+	e.Schedule(now, fn) // want "nondeterministic value reaches Engine.Schedule"
+}
+
+func globalRand(e *Engine, fn func()) {
+	jitter := rand.Int63n(100)
+	e.Schedule(jitter, fn) // want "nondeterministic value reaches Engine.Schedule"
+}
+
+func injectedRand(e *Engine, rng *rand.Rand, fn func()) {
+	j := rng.Int63n(100) // ok: draws from the engine-injected seeded source
+	e.Schedule(j, fn)
+}
+
+func channelResult(e *Engine, ch chan int64, fn func()) {
+	v := <-ch
+	e.Schedule(v, fn) // want "nondeterministic value reaches Engine.Schedule"
+}
+
+func mapOrderLast(e *Engine, m map[string]int64, fn func()) {
+	var last int64
+	for _, v := range m {
+		last = v // iteration order decides which value survives
+	}
+	e.Schedule(last, fn) // want "nondeterministic value reaches Engine.Schedule"
+}
+
+func timerFromClock(t *Timer) {
+	d := time.Since(time.Now())
+	t.Reset(d) // want "nondeterministic value reaches Timer.Reset"
+}
+
+func branchTaint(e *Engine, ch chan int64, cond bool, fn func()) {
+	var at int64
+	if cond {
+		at = <-ch
+	} else {
+		at = 10
+	}
+	e.Schedule(at, fn) // want "nondeterministic value reaches Engine.Schedule"
+}
+
+func laundered(e *Engine, fn func()) {
+	at := e.Now() + 5 // ok: virtual time, calls launder
+	e.Schedule(at, fn)
+}
+
+func sliceRange(e *Engine, xs []int64, fn func()) {
+	var sum int64
+	for _, x := range xs { // ok: slice iteration order is deterministic
+		sum += x
+	}
+	e.Schedule(sum, fn)
+}
+
+func retaint(e *Engine, fn func()) {
+	at := time.Now().UnixNano()
+	at = 42            // strong update: the clean constant overwrites the taint
+	e.Schedule(at, fn) // ok
+}
+
+func exportedField(s *Summary, m map[string]int64) {
+	for _, v := range m {
+		s.Final = v // want "nondeterministic value stored in exported field Final"
+	}
+}
+
+func cleanField(s *Summary, e *Engine) {
+	s.Final = e.Now() // ok: engine virtual time
+}
+
+func allowedFold(e *Engine, m map[string]int64, fn func()) {
+	var sum int64
+	for _, v := range m {
+		sum += v
+	}
+	//dtlint:allow detflow: sum over map values is order-insensitive, same total for every visit order
+	e.Schedule(sum, fn)
+}

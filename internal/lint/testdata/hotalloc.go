@@ -1,0 +1,97 @@
+// Fixture for the hotalloc analyzer. Functions annotated //dtlint:hotpath
+// must contain no allocation-inducing constructs; everything else is out
+// of scope. lint_test.go compares diagnostics against the `// want`
+// comments.
+package fixture
+
+type item struct{ n int }
+
+func takeAny(v any)      {}
+func variadic(vs ...any) {}
+
+var litHolder func(int) int
+
+// notHot may allocate freely: it carries no annotation.
+func notHot(xs []int) []int {
+	return append(xs, 1) // ok: not a hot path
+}
+
+//dtlint:hotpath
+func closureCapture(k int) func() int {
+	total := 0
+	f := func() int { // want "closure captures total and allocates on the hot path"
+		total += k
+		return total
+	}
+	g := func() int { return 42 } // ok: captures nothing, static closure
+	_ = g
+	return f
+}
+
+//dtlint:hotpath
+func boxes(n int, p *item) {
+	takeAny(n)    // want "argument boxes a int into an interface on the hot path"
+	takeAny(p)    // ok: pointers fit the interface word
+	var x any = n // want "declaration boxes a int into an interface on the hot path"
+	x = p         // ok: pointer-shaped
+	x = nil       // ok: nil never allocates
+	_ = x
+	y := any(n) // want "conversion to interface boxes a int on the hot path"
+	_ = y
+}
+
+//dtlint:hotpath
+func callsVariadic(p *item) {
+	variadic(p, p) // want "variadic call allocates its argument slice on the hot path"
+	variadic()     // ok: zero-argument variadic passes a nil slice
+}
+
+//dtlint:hotpath
+func returnsAny(n int) any {
+	return n // want "return boxes a int into an interface on the hot path"
+}
+
+//dtlint:hotpath
+func allocs(xs []int, s string) string {
+	xs = append(xs, 1)  // want "append may grow the backing array on the hot path"
+	m := make([]int, 4) // want "make allocates on the hot path"
+	_ = m
+	q := new(item) // want "new allocates on the hot path"
+	_ = q
+	r := &item{n: 1} // want "&composite literal allocates on the hot path"
+	_ = r
+	lit := []int{1, 2} // want "slice literal allocates on the hot path"
+	_ = lit
+	mp := map[int]int{} // want "map literal allocates on the hot path"
+	_ = mp
+	s2 := s + "x" // want "string concatenation allocates on the hot path"
+	s2 += "y"     // want "string .= allocates on the hot path"
+	return s2
+}
+
+//dtlint:hotpath
+func clean(xs []int, p *item) int {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	p.n = sum
+	xs[0] = sum
+	return sum // ok: arithmetic, indexing and field writes never allocate
+}
+
+//dtlint:hotpath
+func allowedGrow(xs []int) []int {
+	//dtlint:allow hotalloc: free list retains capacity, append is amortized zero in steady state
+	return append(xs, 0)
+}
+
+// setup is cold, but the literal it installs runs per event: the marker
+// on the line above the literal makes its body a hot path.
+func setup(buf []int) {
+	//dtlint:hotpath
+	litHolder = func(n int) int {
+		buf = append(buf, n) // want "append may grow the backing array on the hot path"
+		return buf[0]
+	}
+}

@@ -1,0 +1,131 @@
+// Fixture for the pktlife analyzer: AllocPacket must reach FreePacket or
+// a handoff on every control-flow path, and EventRef handles must not be
+// reused after Cancel. The local types mirror the shapes in
+// internal/netsim and internal/sim; the analyzer matches them by name.
+package fixture
+
+type Packet struct{ Size int }
+
+type Network struct{ free []*Packet }
+
+func (n *Network) AllocPacket() *Packet { return &Packet{} }
+func (n *Network) FreePacket(p *Packet) {}
+
+type Port struct{ net *Network }
+
+func (p *Port) Send(pkt *Packet) {}
+
+type EventRef struct{ id, gen int }
+
+func (r EventRef) Cancel()       {}
+func (r EventRef) Pending() bool { return false }
+
+type stash struct {
+	pkt *Packet
+	ref EventRef
+}
+
+// dropPathMissesRecycle seeds the bug class this analyzer exists for: the
+// overflow branch counts the drop but forgets to recycle the packet, the
+// exact shape of a missing pool.FreePacket in netsim.Port.drop.
+func dropPathMissesRecycle(n *Network, port *Port, overflow bool) {
+	pkt := n.AllocPacket() // want "packet pkt can reach function exit without FreePacket or a handoff"
+	if overflow {
+		return // leaks pkt
+	}
+	port.Send(pkt)
+}
+
+func cleanAllPaths(n *Network, port *Port, drop bool) {
+	pkt := n.AllocPacket() // ok: both branches terminate the lifecycle
+	if drop {
+		n.FreePacket(pkt)
+		return
+	}
+	port.Send(pkt)
+}
+
+func discarded(n *Network) {
+	n.AllocPacket() // want "AllocPacket result discarded"
+}
+
+func blankAssigned(n *Network) {
+	_ = n.AllocPacket() // want "AllocPacket result assigned to _"
+}
+
+func overwriteWhileLive(n *Network, port *Port) {
+	pkt := n.AllocPacket()
+	pkt = n.AllocPacket() // want "packet pkt overwritten while still live"
+	port.Send(pkt)
+}
+
+func loopClean(n *Network, port *Port, k int) {
+	for i := 0; i < k; i++ {
+		pkt := n.AllocPacket() // ok: released every iteration
+		port.Send(pkt)
+	}
+}
+
+func deferredFree(n *Network, cond bool) {
+	pkt := n.AllocPacket() // ok: the deferred free covers every path
+	defer n.FreePacket(pkt)
+	if cond {
+		return
+	}
+	pkt.Size++
+}
+
+func escapesToField(n *Network, st *stash) {
+	pkt := n.AllocPacket() // ok: stored, ownership transferred
+	st.pkt = pkt
+}
+
+func escapesToClosure(n *Network) func() int {
+	pkt := n.AllocPacket() // ok: captured, ownership transferred
+	return func() int { return pkt.Size }
+}
+
+func returnsPacket(n *Network) *Packet {
+	pkt := n.AllocPacket() // ok: returned to the caller
+	return pkt
+}
+
+func allowedLeak(n *Network, trace bool) {
+	//dtlint:allow pktlife: measurement probe, the packet is owned by the trace buffer for the run
+	pkt := n.AllocPacket()
+	if trace {
+		return
+	}
+	n.FreePacket(pkt)
+}
+
+func reuseAfterCancel(r EventRef) {
+	r.Cancel()
+	if r.Pending() { // want "r.Pending called after Cancel"
+		return
+	}
+}
+
+func doubleCancel(r EventRef) {
+	r.Cancel()
+	r.Cancel() // want "r.Cancel called after Cancel"
+}
+
+func cancelThenReassign(st *stash, fresh EventRef) {
+	st.ref.Cancel()
+	st.ref = fresh  // reassignment re-arms the handle
+	st.ref.Cancel() // ok: fresh handle
+}
+
+func cancelOneBranch(r EventRef, cond bool) {
+	if cond {
+		r.Cancel()
+	}
+	r.Pending() // want "r.Pending called after Cancel"
+}
+
+func allowedRecancel(r EventRef) {
+	r.Cancel()
+	//dtlint:allow pktlife: Cancel is generation-checked and idempotent, the double call is intentional teardown
+	r.Cancel()
+}

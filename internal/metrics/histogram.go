@@ -44,6 +44,8 @@ func NewHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//dtlint:hotpath
 func (h *Histogram) Observe(v float64) {
 	// First bound ≥ v; the overflow bucket catches v above every bound.
 	i := sort.SearchFloat64s(h.bounds, v)

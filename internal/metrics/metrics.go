@@ -47,9 +47,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//dtlint:hotpath
 func (c *Counter) Inc() { c.v++ }
 
 // Add adds n.
+//
+//dtlint:hotpath
 func (c *Counter) Add(n uint64) { c.v += n }
 
 // Value returns the current count.
@@ -61,9 +65,13 @@ type Gauge struct {
 }
 
 // Set replaces the value.
+//
+//dtlint:hotpath
 func (g *Gauge) Set(v float64) { g.v = v }
 
 // Add shifts the value by delta.
+//
+//dtlint:hotpath
 func (g *Gauge) Add(delta float64) { g.v += delta }
 
 // Value returns the current value.

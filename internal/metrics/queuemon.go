@@ -26,6 +26,8 @@ func NewQueueDepthMonitor(hist *Histogram, pktSize int) *QueueDepthMonitor {
 // signature aligned with netsim.QueueMonitor; the histogram is
 // time-agnostic by design (the time-weighted view is QueueRecorder's
 // job).
+//
+//dtlint:hotpath
 func (m *QueueDepthMonitor) QueueChanged(_ sim.Time, qlenBytes int) {
 	m.hist.Observe(float64(qlenBytes) / m.pktSize)
 }

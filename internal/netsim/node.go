@@ -56,6 +56,8 @@ func (s *Switch) PortTo(peer NodeID) *Port {
 
 // Receive implements Node: forward on the static route for the packet's
 // destination.
+//
+//dtlint:hotpath
 func (s *Switch) Receive(pkt *Packet) {
 	idx, ok := s.routes[pkt.Dst]
 	if !ok {
@@ -107,6 +109,8 @@ func (h *Host) Register(flow FlowID, ep Endpoint) {
 func (h *Host) Unregister(flow FlowID) { delete(h.endpoints, flow) }
 
 // Send stamps the packet's source and pushes it onto the uplink.
+//
+//dtlint:hotpath
 func (h *Host) Send(pkt *Packet) {
 	pkt.Src = h.id
 	h.uplink.Send(pkt)
@@ -115,6 +119,8 @@ func (h *Host) Send(pkt *Packet) {
 // Receive implements Node: deliver to the flow's endpoint. Delivery is
 // a pooled packet's terminal point — the network recycles it when
 // Deliver returns, so endpoints must copy out anything they keep.
+//
+//dtlint:hotpath
 func (h *Host) Receive(pkt *Packet) {
 	ep, ok := h.endpoints[pkt.Flow]
 	if !ok {

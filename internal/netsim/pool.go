@@ -16,6 +16,7 @@ type packetPool struct {
 	free []*Packet
 }
 
+//dtlint:hotpath
 func (pp *packetPool) get() *Packet {
 	if n := len(pp.free); n > 0 {
 		p := pp.free[n-1]
@@ -24,17 +25,21 @@ func (pp *packetPool) get() *Packet {
 		p.freed = false
 		return p
 	}
+	//dtlint:allow hotalloc: pool miss is the cold path; steady state is all free-list hits
 	return &Packet{pooled: true}
 }
 
+//dtlint:hotpath
 func (pp *packetPool) put(p *Packet) {
 	if p == nil || !p.pooled || p.freed {
 		if invariant.Enabled && p != nil && p.pooled {
+			//dtlint:allow hotalloc: assertion boxing is build-tag gated; alloc tests skip under -tags invariants
 			invariant.Assert(!p.freed, "netsim: double free of pooled packet %v", p)
 		}
 		return
 	}
 	*p = Packet{pooled: true, freed: true}
+	//dtlint:allow hotalloc: the free list retains capacity; growth is amortized across the warm-up
 	pp.free = append(pp.free, p)
 }
 
@@ -43,10 +48,14 @@ func (pp *packetPool) put(p *Packet) {
 // recycles it when it is delivered or dropped. After that point the
 // packet must not be touched — endpoints that need data past Deliver
 // must copy it out.
+//
+//dtlint:hotpath
 func (n *Network) AllocPacket() *Packet { return n.pool.get() }
 
 // FreePacket returns a pooled packet to the free list; packets not born
 // from AllocPacket are ignored. Model code rarely calls this directly —
 // the network frees at delivery and drop points — but a producer that
 // allocated a packet and then decided not to send it must give it back.
+//
+//dtlint:hotpath
 func (n *Network) FreePacket(p *Packet) { n.pool.put(p) }

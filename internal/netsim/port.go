@@ -159,7 +159,9 @@ func newPort(net *Network, cfg PortConfig, peer Node) *Port {
 		peer:   peer,
 		queue:  pktRing{buf: make([]*Packet, ringInitialCap)},
 	}
+	//dtlint:hotpath
 	p.deliverFn = func(arg any) { p.peer.Receive(arg.(*Packet)) }
+	//dtlint:hotpath
 	p.txDoneFn = func(arg any) {
 		pkt := arg.(*Packet)
 		p.txPkt = nil
@@ -275,6 +277,8 @@ func (p *Port) SetCorruptProb(prob float64) {
 // the queue intact to drain when the link returns. While down, arriving
 // packets are dropped. Coming up resumes transmission of whatever is
 // queued; flush is ignored on the way up.
+//
+//dtlint:hotpath
 func (p *Port) SetDown(down, flush bool) {
 	if down == p.down {
 		if down && flush {
@@ -304,6 +308,8 @@ func (p *Port) SetDown(down, flush bool) {
 }
 
 // flushQueue discards every queued packet as a link-down loss.
+//
+//dtlint:hotpath
 func (p *Port) flushQueue() {
 	for p.queue.len() > 0 {
 		pkt := p.queue.pop()
@@ -316,6 +322,8 @@ func (p *Port) flushQueue() {
 }
 
 // drop discards a packet: count, trace, recycle.
+//
+//dtlint:hotpath
 func (p *Port) drop(pkt *Packet, overflow bool) {
 	if overflow {
 		p.stats.DroppedOverflow++
@@ -331,6 +339,8 @@ func (p *Port) drop(pkt *Packet, overflow bool) {
 // dropFault discards a packet lost to a fault (corruption, dead link):
 // count, trace — through FaultTracer when the tracer implements it, as a
 // policy drop otherwise — and recycle to the network's free list.
+//
+//dtlint:hotpath
 func (p *Port) dropFault(pkt *Packet, kind FaultKind) {
 	switch kind {
 	case FaultCorrupt:
@@ -349,6 +359,8 @@ func (p *Port) dropFault(pkt *Packet, kind FaultKind) {
 // Send offers a packet to the port. The AQM policy is consulted with the
 // occupancy at arrival; buffer overflow always drops. A dropped packet is
 // recycled here — the caller must not touch it after Send returns.
+//
+//dtlint:hotpath
 func (p *Port) Send(pkt *Packet) {
 	if p.down {
 		p.dropFault(pkt, FaultLinkDown)
@@ -395,6 +407,7 @@ func (p *Port) Send(pkt *Packet) {
 	}
 }
 
+//dtlint:hotpath
 func (p *Port) transmitNext() {
 	var pkt *Packet
 	for {
@@ -447,11 +460,14 @@ func (p *Port) transmitNext() {
 
 // markSubstitutesDrop reports whether the policy's marks stand in for
 // drops (RFC 3168 §5 handling of non-ECT packets).
+//
+//dtlint:hotpath
 func markSubstitutesDrop(pol aqm.Policy) bool {
 	ls, ok := pol.(aqm.LossSubstituting)
 	return ok && ls.MarkSubstitutesDrop()
 }
 
+//dtlint:hotpath
 func (p *Port) notifyMonitor() {
 	if p.monitor != nil {
 		p.monitor.QueueChanged(p.engine.Now(), p.queueLen)

@@ -14,8 +14,10 @@ type pktRing struct {
 
 const ringInitialCap = 64
 
+//dtlint:hotpath
 func (r *pktRing) len() int { return r.n }
 
+//dtlint:hotpath
 func (r *pktRing) push(p *Packet) {
 	if r.n == len(r.buf) {
 		r.grow()
@@ -24,6 +26,7 @@ func (r *pktRing) push(p *Packet) {
 	r.n++
 }
 
+//dtlint:hotpath
 func (r *pktRing) pop() *Packet {
 	p := r.buf[r.head]
 	r.buf[r.head] = nil
@@ -35,6 +38,8 @@ func (r *pktRing) pop() *Packet {
 // popTail removes and returns the most recently pushed element. It is the
 // other end of the FIFO, used when a buffer resize must discard the
 // newest arrivals first.
+//
+//dtlint:hotpath
 func (r *pktRing) popTail() *Packet {
 	r.n--
 	i := (r.head + r.n) & (len(r.buf) - 1)
@@ -44,6 +49,8 @@ func (r *pktRing) popTail() *Packet {
 }
 
 // at returns the i-th element in FIFO order without removing it.
+//
+//dtlint:hotpath
 func (r *pktRing) at(i int) *Packet {
 	return r.buf[(r.head+i)&(len(r.buf)-1)]
 }

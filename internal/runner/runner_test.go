@@ -30,7 +30,7 @@ func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
 	// Each job seeds its own PRNG from its index — the way sweeps seed
 	// engines — so the result must be identical for any worker count.
 	job := func(_ context.Context, i int) (uint64, error) {
-		rng := rand.New(rand.NewSource(int64(i) + 1)) //dtlint:allow nondeterm (test)
+		rng := rand.New(rand.NewSource(int64(i) + 1)) //dtlint:allow nondeterm: test-local stream, seeded per subtest
 		var acc uint64
 		for k := 0; k < 1000; k++ {
 			acc = acc*31 + uint64(rng.Intn(1000))

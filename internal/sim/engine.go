@@ -67,7 +67,7 @@ func NewEngine(seed int64) *Engine {
 	// construction site must draw from Engine.Rand() or an injected
 	// *rand.Rand so one seed governs the whole run.
 	return &Engine{
-		rng:   rand.New(rand.NewSource(seed)), //dtlint:allow nondeterm -- the one seeded root source
+		rng:   rand.New(rand.NewSource(seed)), //dtlint:allow nondeterm: the one seeded root source
 		queue: eventHeap{items: make([]*Event, 0, initialHeapCap)},
 	}
 }
@@ -80,6 +80,8 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // alloc takes an event from the free list, or makes one.
+//
+//dtlint:hotpath
 func (e *Engine) alloc() *Event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
@@ -89,11 +91,14 @@ func (e *Engine) alloc() *Event {
 		return ev
 	}
 	e.freeMisses++
+	//dtlint:allow hotalloc: pool miss is the cold path; steady state is all free-list hits
 	return &Event{}
 }
 
 // recycle returns a popped event to the free list. Bumping the
 // generation first invalidates every outstanding EventRef to it.
+//
+//dtlint:hotpath
 func (e *Engine) recycle(ev *Event) {
 	ev.gen++
 	ev.run = nil
@@ -101,12 +106,16 @@ func (e *Engine) recycle(ev *Event) {
 	ev.arg = nil
 	ev.cancelled = false
 	ev.heapIndex = -1
+	//dtlint:allow hotalloc: the free list retains capacity; growth is amortized across the warm-up
 	e.free = append(e.free, ev)
 }
 
 // enqueue pools an event and pushes it at the given instant.
+//
+//dtlint:hotpath
 func (e *Engine) enqueue(at Time) *Event {
 	if at < e.now {
+		//dtlint:allow hotalloc: formatting a panic message on the die path costs nothing in steady state
 		panic(fmt.Sprintf("sim: scheduling into the past: now=%v at=%v", e.now, at))
 	}
 	ev := e.alloc()
@@ -124,6 +133,8 @@ func (e *Engine) enqueue(at Time) *Event {
 // Schedule enqueues fn to run at the absolute instant at. Scheduling in
 // the past (before Now) is a programming error and panics: allowing it
 // silently would reorder causality.
+//
+//dtlint:hotpath
 func (e *Engine) Schedule(at Time, fn func()) EventRef {
 	ev := e.enqueue(at)
 	ev.run = fn
@@ -135,6 +146,8 @@ func (e *Engine) Schedule(at Time, fn func()) EventRef {
 // long-lived fn (stored once on the owning struct) schedule without
 // allocating a closure — the difference between one heap allocation per
 // packet and none on the port transmit path.
+//
+//dtlint:hotpath
 func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) EventRef {
 	ev := e.enqueue(at)
 	ev.runArg = fn
@@ -143,12 +156,16 @@ func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) EventRef {
 }
 
 // After enqueues fn to run d after the current instant.
+//
+//dtlint:hotpath
 func (e *Engine) After(d time.Duration, fn func()) EventRef {
 	return e.Schedule(e.now.Add(d), fn)
 }
 
 // AfterArg enqueues fn to run d after the current instant with arg as
 // its argument; see ScheduleArg.
+//
+//dtlint:hotpath
 func (e *Engine) AfterArg(d time.Duration, fn func(any), arg any) EventRef {
 	return e.ScheduleArg(e.now.Add(d), fn, arg)
 }
@@ -157,6 +174,8 @@ func (e *Engine) AfterArg(d time.Duration, fn func(any), arg any) EventRef {
 // when cancelled events outnumber live ones. RTO timers are rearmed (one
 // cancel) per ACK, so without compaction a cancel-heavy run would hold
 // its entire timer history in the heap until the deadlines surface.
+//
+//dtlint:hotpath
 func (e *Engine) noteCancelled() {
 	e.cancelled++
 	e.cancelledTotal++
@@ -169,6 +188,8 @@ func (e *Engine) noteCancelled() {
 // and restores the heap property. Relative order of the survivors is
 // unaffected: ordering is decided by (at, seq), which compaction does not
 // touch.
+//
+//dtlint:hotpath
 func (e *Engine) compact() {
 	items := e.queue.items
 	kept := items[:0]
@@ -176,6 +197,7 @@ func (e *Engine) compact() {
 		if ev.cancelled {
 			e.recycle(ev)
 		} else {
+			//dtlint:allow hotalloc: kept appends into the items backing array it aliases; it can never outgrow it
 			kept = append(kept, ev)
 		}
 	}
@@ -218,6 +240,7 @@ func (e *Engine) RunFor(d time.Duration) error {
 	return e.RunUntil(e.now.Add(d))
 }
 
+//dtlint:hotpath
 func (e *Engine) run(keep func(*Event) bool) error {
 	e.stopped = false
 	for {
@@ -235,8 +258,8 @@ func (e *Engine) run(keep func(*Event) bool) error {
 			continue
 		}
 		if invariant.Enabled {
-			invariant.Assert(next.at >= e.now,
-				"sim: event time moved backwards: now=%v next=%v", e.now, next.at)
+			//dtlint:allow hotalloc: assertion boxing is build-tag gated; alloc tests skip under -tags invariants
+			invariant.Assert(next.at >= e.now, "sim: event time moved backwards: now=%v next=%v", e.now, next.at)
 		}
 		e.now = next.at
 		e.processed++

@@ -41,12 +41,16 @@ type EventRef struct {
 }
 
 // Pending reports whether the event is still queued and uncancelled.
+//
+//dtlint:hotpath
 func (r EventRef) Pending() bool {
 	return r.ev != nil && r.ev.gen == r.gen && !r.ev.cancelled
 }
 
 // At returns the firing instant of a pending event, or TimeNever once
 // the event has fired or been cancelled.
+//
+//dtlint:hotpath
 func (r EventRef) At() Time {
 	if !r.Pending() {
 		return TimeNever
@@ -60,6 +64,8 @@ func (r EventRef) At() Time {
 // surfaces — but the engine compacts the queue when cancelled events
 // outnumber live ones, so a cancel-heavy workload cannot grow the queue
 // without bound.
+//
+//dtlint:hotpath
 func (r EventRef) Cancel() {
 	if r.ev == nil || r.ev.gen != r.gen || r.ev.cancelled {
 		return
@@ -70,6 +76,8 @@ func (r EventRef) Cancel() {
 
 // Cancelled reports whether Cancel has been called on the event it
 // references and the event has not yet been recycled.
+//
+//dtlint:hotpath
 func (r EventRef) Cancelled() bool {
 	return r.ev != nil && r.ev.gen == r.gen && r.ev.cancelled
 }
@@ -82,8 +90,10 @@ type eventHeap struct {
 	items []*Event
 }
 
+//dtlint:hotpath
 func (h *eventHeap) Len() int { return len(h.items) }
 
+//dtlint:hotpath
 func (h *eventHeap) less(i, j int) bool {
 	a, b := h.items[i], h.items[j]
 	if a.at != b.at {
@@ -92,18 +102,22 @@ func (h *eventHeap) less(i, j int) bool {
 	return a.seq < b.seq
 }
 
+//dtlint:hotpath
 func (h *eventHeap) swap(i, j int) {
 	h.items[i], h.items[j] = h.items[j], h.items[i]
 	h.items[i].heapIndex = i
 	h.items[j].heapIndex = j
 }
 
+//dtlint:hotpath
 func (h *eventHeap) push(e *Event) {
 	e.heapIndex = len(h.items)
+	//dtlint:allow hotalloc: backing array starts at initialHeapCap and is retained; growth is amortized warm-up
 	h.items = append(h.items, e)
 	h.up(len(h.items) - 1)
 }
 
+//dtlint:hotpath
 func (h *eventHeap) pop() *Event {
 	n := len(h.items)
 	h.swap(0, n-1)
@@ -117,6 +131,7 @@ func (h *eventHeap) pop() *Event {
 	return e
 }
 
+//dtlint:hotpath
 func (h *eventHeap) peek() *Event {
 	if len(h.items) == 0 {
 		return nil
@@ -124,6 +139,7 @@ func (h *eventHeap) peek() *Event {
 	return h.items[0]
 }
 
+//dtlint:hotpath
 func (h *eventHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -135,6 +151,7 @@ func (h *eventHeap) up(i int) {
 	}
 }
 
+//dtlint:hotpath
 func (h *eventHeap) down(i int) {
 	n := len(h.items)
 	for {
@@ -156,6 +173,8 @@ func (h *eventHeap) down(i int) {
 
 // reheapify restores the heap property over the whole backing slice in
 // O(n), used after compaction filters out cancelled events.
+//
+//dtlint:hotpath
 func (h *eventHeap) reheapify() {
 	for i := range h.items {
 		h.items[i].heapIndex = i

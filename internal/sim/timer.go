@@ -27,25 +27,35 @@ func NewTimer(engine *Engine, fn func()) *Timer {
 
 // Reset (re)arms the timer to fire d after the current virtual instant,
 // cancelling any previously armed deadline.
+//
+//dtlint:hotpath
 func (t *Timer) Reset(d time.Duration) {
 	t.Stop()
 	t.pending = t.engine.After(d, t.fire)
 }
 
 // ResetAt (re)arms the timer to fire at the absolute instant at.
+//
+//dtlint:hotpath
 func (t *Timer) ResetAt(at Time) {
 	t.Stop()
 	t.pending = t.engine.Schedule(at, t.fire)
 }
 
 // Stop disarms the timer. Stopping an unarmed timer is a no-op.
+//
+//dtlint:hotpath
 func (t *Timer) Stop() {
 	t.pending.Cancel()
 	t.pending = EventRef{}
 }
 
 // Armed reports whether the timer has a pending deadline.
+//
+//dtlint:hotpath
 func (t *Timer) Armed() bool { return t.pending.Pending() }
 
 // Deadline returns the armed firing instant, or TimeNever if unarmed.
+//
+//dtlint:hotpath
 func (t *Timer) Deadline() Time { return t.pending.At() }

@@ -77,6 +77,8 @@ func (r *Receiver) Stats() ReceiverStats { return r.stats }
 func (r *Receiver) Received() int64 { return r.rcvNxt }
 
 // Deliver implements netsim.Endpoint for inbound data packets.
+//
+//dtlint:hotpath
 func (r *Receiver) Deliver(pkt *netsim.Packet) {
 	if pkt.IsAck {
 		return // receivers ignore stray ACKs
@@ -141,7 +143,7 @@ func (r *Receiver) Deliver(pkt *netsim.Packet) {
 		// rcvNxt, taking the max end so two straddling ranges cannot
 		// shrink each other (map iteration order is unspecified).
 		changed := false
-		//dtlint:allow maporder -- every path keeps the max end per key, so the fixpoint is order-insensitive
+		//dtlint:allow maporder: every path keeps the max end per key, so the fixpoint is order-insensitive
 		for s, e := range r.ooo {
 			if e <= r.rcvNxt {
 				delete(r.ooo, s)
@@ -171,6 +173,8 @@ func (r *Receiver) Deliver(pkt *netsim.Packet) {
 }
 
 // flushAck emits the cumulative ACK covering everything pending.
+//
+//dtlint:hotpath
 func (r *Receiver) flushAck() {
 	ece := false
 	switch {

@@ -171,6 +171,8 @@ func (s *Sender) Stats() SenderStats { return s.stats }
 func (s *Sender) Flow() netsim.FlowID { return s.flow }
 
 // trySend transmits new segments while the congestion window allows.
+//
+//dtlint:hotpath
 func (s *Sender) trySend() {
 	for {
 		if s.completed {
@@ -196,6 +198,8 @@ func (s *Sender) trySend() {
 }
 
 // transmit sends one segment starting at seq.
+//
+//dtlint:hotpath
 func (s *Sender) transmit(seq int64, payload int) {
 	pkt := s.host.Network().AllocPacket()
 	pkt.Flow = s.flow
@@ -217,6 +221,8 @@ func (s *Sender) transmit(seq int64, payload int) {
 }
 
 // Deliver implements netsim.Endpoint for the ACK stream.
+//
+//dtlint:hotpath
 func (s *Sender) Deliver(pkt *netsim.Packet) {
 	if !pkt.IsAck || s.completed {
 		return
@@ -237,6 +243,7 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 	s.trySend()
 }
 
+//dtlint:hotpath
 func (s *Sender) onNewAck(pkt *netsim.Packet) {
 	ackedNow := pkt.Ack - s.sndUna
 	s.sndUna = pkt.Ack
@@ -315,6 +322,8 @@ func (s *Sender) onNewAck(pkt *netsim.Packet) {
 // window's worth of bytes is acknowledged. The quantization matters: it is
 // what keeps many small-window flows oscillating instead of settling into
 // a fractional fixed point (the regime of the paper's Fig. 1 at N = 100).
+//
+//dtlint:hotpath
 func (s *Sender) grow(ackedNow int64) {
 	mss := float64(s.cfg.MSS)
 	if s.cwnd < s.ssthresh {
@@ -348,6 +357,7 @@ func (s *Sender) grow(ackedNow int64) {
 	}
 }
 
+//dtlint:hotpath
 func (s *Sender) onDupAck(pkt *netsim.Packet) {
 	// A dup ACK only counts when data is outstanding.
 	if s.sndNxt == s.sndUna {
@@ -422,6 +432,7 @@ func (s *Sender) onRTO() {
 	s.armRTO()
 }
 
+//dtlint:hotpath
 func (s *Sender) armRTO() {
 	rto := s.rtt.rto()
 	for i := 0; i < s.rtoBackoff; i++ {
