@@ -56,6 +56,15 @@ type TestbedConfig struct {
 	FreshConnections bool
 	// Seed drives randomness.
 	Seed int64
+	// Shards, when above one, executes this single run in parallel on
+	// that many event wheels under conservative-lookahead (epoch
+	// barrier) synchronization; see netsim.Network.Partition and
+	// workload.StartQueriesSharded. Results are byte-identical for any
+	// shard count — shards=1 (or zero) is the plain serial engine.
+	// Sharded runs reject Chaos and FreshConnections (serial-only
+	// features) and require Gap ≥ 2×HopDelay so round boundaries clear
+	// the epoch barriers.
+	Shards int
 
 	// Chaos, when set, applies a fault-injection plan to the topology.
 	// Plans may target "bottleneck" (core switch → aggregator),
@@ -95,14 +104,24 @@ func (c TestbedConfig) validate() error {
 		return errors.New("core: buffers must be positive")
 	case c.HopDelay <= 0:
 		return errors.New("core: HopDelay must be positive")
+	case c.Shards < 0:
+		return errors.New("core: Shards must not be negative")
+	case c.Shards > 1 && c.Chaos != nil:
+		return errors.New("core: Chaos requires serial execution (Shards <= 1)")
+	case c.Shards > 1 && c.FreshConnections:
+		return errors.New("core: FreshConnections requires serial execution (Shards <= 1)")
+	case c.Shards > 1 && c.Gap < 2*c.HopDelay:
+		return errors.New("core: sharded queries need Gap >= 2*HopDelay (round starts must clear the epoch barrier)")
 	default:
 		return nil
 	}
 }
 
-// testbed is a built topology ready to carry queries.
+// testbed is a built topology ready to carry queries. se is non-nil
+// when the topology was partitioned for sharded execution.
 type testbed struct {
 	engine     *sim.Engine
+	se         *sim.ShardedEngine
 	aggregator *netsim.Host
 	workers    []*netsim.Host
 	bneck      *netsim.Port
@@ -111,7 +130,17 @@ type testbed struct {
 
 // buildTestbed constructs the Fig. 13 topology.
 func buildTestbed(cfg TestbedConfig) (*testbed, error) {
-	engine := sim.NewEngine(cfg.Seed)
+	// A sharded build uses the coordinator's shard-0 engine for
+	// construction — same creation order, same RNG stream as serial.
+	sharded := cfg.Shards > 1
+	var se *sim.ShardedEngine
+	var engine *sim.Engine
+	if sharded {
+		se = sim.NewShardedEngine(cfg.Seed, cfg.Shards)
+		engine = se.Shard(0)
+	} else {
+		engine = sim.NewEngine(cfg.Seed)
+	}
 	nw := netsim.NewNetwork(engine)
 	core := nw.AddSwitch("switch1")
 	agg := nw.AddHost("aggregator")
@@ -144,9 +173,23 @@ func buildTestbed(cfg TestbedConfig) (*testbed, error) {
 		return nil, err
 	}
 	bneck := core.PortTo(agg.ID())
+	if sharded {
+		// Partition after routes and before endpoints. The bottleneck
+		// port's domain is pinned to shard 0: a randomized AQM law
+		// (PIE) draws from the root RNG at runtime, and shard 0's
+		// stream equals the serial engine's.
+		assign := nw.DefaultAssign(cfg.Shards, nw.PortDomain(bneck))
+		if err := nw.Partition(se, assign); err != nil {
+			return nil, err
+		}
+	}
 	var obs *observer
 	if cfg.Metrics {
-		obs = newObserver(engine, 0)
+		engineStats := engine.Stats
+		if sharded {
+			engineStats = se.Stats
+		}
+		obs = newObserver(engine, engineStats, 0)
 		pktSize := cfg.Protocol.PacketSize()
 		bufferPkts := cfg.BottleneckBuffer / pktSize
 		if bufferPkts < 1 {
@@ -170,6 +213,7 @@ func buildTestbed(cfg TestbedConfig) (*testbed, error) {
 	}
 	return &testbed{
 		engine:     engine,
+		se:         se,
 		aggregator: agg,
 		workers:    workers,
 		bneck:      bneck,
@@ -205,6 +249,10 @@ type QueryResult struct {
 	MissedDeadlines  int
 	DeadlineMissRate float64
 
+	// Events is the number of simulator events processed (summed over
+	// shards when the run was sharded), for throughput accounting.
+	Events uint64
+
 	// Metrics is the run's observability snapshot; nil unless
 	// TestbedConfig.Metrics was set.
 	Metrics *metrics.Snapshot
@@ -227,7 +275,7 @@ func RunQuery(cfg TestbedConfig, bytesPerWorker int64, rounds int) (*QueryResult
 	if err != nil {
 		return nil, err
 	}
-	queries := workload.StartQueries(tb.engine, workload.QueryConfig{
+	qcfg := workload.QueryConfig{
 		Workers:        tb.workers,
 		Aggregator:     tb.aggregator,
 		BytesPerWorker: bytesPerWorker,
@@ -237,12 +285,22 @@ func RunQuery(cfg TestbedConfig, bytesPerWorker int64, rounds int) (*QueryResult
 		Persistent:     !cfg.FreshConnections,
 		StartJitter:    cfg.StartJitter,
 		Deadline:       cfg.Deadline,
-	})
+	}
+	var queries *workload.QueryRunner
+	if tb.se != nil {
+		queries = workload.StartQueriesSharded(tb.se, qcfg)
+	} else {
+		queries = workload.StartQueries(tb.engine, qcfg)
+	}
 
 	// Generous horizon: every round can absorb several full backoff
 	// chains before we declare the run wedged.
 	horizon := time.Duration(rounds) * (10*time.Second + 4*time.Duration(cfg.Workers)*time.Millisecond)
-	if err := tb.engine.RunFor(horizon); err != nil {
+	if tb.se != nil {
+		if err := tb.se.RunFor(horizon); err != nil {
+			return nil, err
+		}
+	} else if err := tb.engine.RunFor(horizon); err != nil {
 		return nil, err
 	}
 	if !queries.Done() {
@@ -264,6 +322,10 @@ func RunQuery(cfg TestbedConfig, bytesPerWorker int64, rounds int) (*QueryResult
 		Timeouts:         queries.TotalTimeouts(),
 		Drops:            tb.bneck.Stats().DroppedOverflow,
 		MissedDeadlines:  queries.TotalMissedDeadlines(),
+		Events:           tb.engine.Stats().Processed,
+	}
+	if tb.se != nil {
+		res.Events = tb.se.Stats().Processed
 	}
 	if cfg.Deadline > 0 {
 		total := float64(res.Rounds * cfg.Workers)
@@ -272,7 +334,11 @@ func RunQuery(cfg TestbedConfig, bytesPerWorker int64, rounds int) (*QueryResult
 		}
 	}
 	if tb.obs != nil {
-		res.Metrics = tb.obs.snapshot(tb.engine.Now())
+		at := tb.engine.Now()
+		if tb.se != nil {
+			at = tb.se.Now()
+		}
+		res.Metrics = tb.obs.snapshot(at)
 	}
 	return res, nil
 }
@@ -313,7 +379,9 @@ func SweepWorkers(base TestbedConfig, workers []int, rounds int,
 // worker count; they are returned in the order of workers.
 func SweepWorkersParallel(ctx context.Context, base TestbedConfig, workers []int, rounds, par int,
 	run func(TestbedConfig, int) (*QueryResult, error)) ([]WorkerSweepPoint, error) {
-	return runner.Map(ctx, len(workers), runner.Options{Workers: par},
+	// A sharded point occupies one goroutine per shard; shrink the worker
+	// pool so the sweep does not oversubscribe the machine.
+	return runner.Map(ctx, len(workers), runner.Options{Workers: par, ThreadsPerJob: base.Shards},
 		func(_ context.Context, i int) (WorkerSweepPoint, error) {
 			cfg := base
 			cfg.Workers = workers[i]

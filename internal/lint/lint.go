@@ -71,9 +71,10 @@ type Pass struct {
 	// TypesInfo holds the type-checker's expression annotations.
 	TypesInfo *types.Info
 
-	allow allowIndex
-	diags *[]Diagnostic
-	hot   *hotIndex
+	allow  allowIndex
+	diags  *[]Diagnostic
+	hot    *hotIndex
+	shardb *shardIndex
 }
 
 // Diagnostic is one finding, resolved to a file position.
@@ -123,6 +124,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	for _, pkg := range pkgs {
 		allow, allowDiags := buildAllowIndex(pkg.Fset, pkg.Files)
 		diags = append(diags, allowDiags...)
+		shardb, shardDiags := buildShardIndex(pkg.Fset, pkg.Files)
+		diags = append(diags, shardDiags...)
 		for _, a := range analyzers {
 			if a.Applies != nil && !a.Applies(pkg.ImportPath) {
 				continue
@@ -135,6 +138,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				TypesInfo: pkg.TypesInfo,
 				allow:     allow,
 				diags:     &diags,
+				shardb:    shardb,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)

@@ -8,28 +8,37 @@ import "dtdctcp/internal/sim"
 // pending-queue depth with its high-water mark. Everything reads
 // sim.EngineStats at snapshot time, so the event loop is untouched.
 func InstrumentEngine(r *Registry, e *sim.Engine) {
+	InstrumentEngineStats(r, e.Stats)
+}
+
+// InstrumentEngineStats registers the same metric family over any
+// EngineStats source — a single engine's Stats, or a ShardedEngine's
+// merged Stats, so a partitioned run exports one coherent set of totals
+// instead of per-shard fragments. The source is only called at snapshot
+// time.
+func InstrumentEngineStats(r *Registry, stats func() sim.EngineStats) {
 	r.CounterFunc("sim_events_scheduled_total",
 		"Events ever enqueued on the engine.",
-		func() uint64 { return e.Stats().Scheduled })
+		func() uint64 { return stats().Scheduled })
 	r.CounterFunc("sim_events_executed_total",
 		"Events whose handler ran.",
-		func() uint64 { return e.Stats().Processed })
+		func() uint64 { return stats().Processed })
 	r.CounterFunc("sim_events_cancelled_total",
 		"Events lazily cancelled before firing.",
-		func() uint64 { return e.Stats().Cancelled })
+		func() uint64 { return stats().Cancelled })
 	r.CounterFunc("sim_queue_compactions_total",
 		"Compaction passes removing cancelled events from the heap.",
-		func() uint64 { return e.Stats().Compactions })
+		func() uint64 { return stats().Compactions })
 	r.CounterFunc("sim_free_list_hits_total",
 		"Event allocations served from the free list.",
-		func() uint64 { return e.Stats().FreeHits })
+		func() uint64 { return stats().FreeHits })
 	r.CounterFunc("sim_free_list_misses_total",
 		"Event allocations that fell through to the heap.",
-		func() uint64 { return e.Stats().FreeMisses })
+		func() uint64 { return stats().FreeMisses })
 	r.GaugeFunc("sim_free_list_hit_rate",
 		"Fraction of event allocations served from the free list.",
 		func() float64 {
-			s := e.Stats()
+			s := stats()
 			total := s.FreeHits + s.FreeMisses
 			if total == 0 {
 				return 0
@@ -38,8 +47,8 @@ func InstrumentEngine(r *Registry, e *sim.Engine) {
 		})
 	r.GaugeFunc("sim_events_pending",
 		"Events currently queued (including uncompacted cancellations).",
-		func() float64 { return float64(e.Stats().Pending) })
+		func() float64 { return float64(stats().Pending) })
 	r.GaugeFunc("sim_events_pending_max",
-		"High-water mark of the pending-event queue.",
-		func() float64 { return float64(e.Stats().MaxPending) })
+		"High-water mark of the pending-event queue (the maximum over shards in a sharded run, since per-shard marks do not align in time).",
+		func() float64 { return float64(stats().MaxPending) })
 }

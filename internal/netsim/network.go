@@ -19,6 +19,13 @@ type Network struct {
 	adjacency map[NodeID][]NodeID
 	// pool recycles packets across the whole topology; see AllocPacket.
 	pool packetPool
+
+	// Sharded execution state (see Partition in shard.go): the
+	// coordinator, one packet free list per shard, and the rebalancing
+	// scratch buffer that levels them between epochs.
+	se         *sim.ShardedEngine
+	shardPools []packetPool
+	spares     []*Packet
 }
 
 // NewNetwork creates an empty topology bound to the engine.
@@ -36,7 +43,10 @@ func (n *Network) AddHost(name string) *Host {
 		name:      name,
 		net:       n,
 		endpoints: make(map[FlowID]Endpoint),
+		engine:    n.engine,
+		pool:      &n.pool,
 	}
+	h.recvArgFn = func(arg any) { h.Receive(arg.(*Packet)) }
 	n.nodes = append(n.nodes, h)
 	n.hosts = append(n.hosts, h)
 	return h
@@ -98,8 +108,25 @@ func (n *Network) attach(from, to Node, cfg PortConfig) (*Port, error) {
 
 // ComputeRoutes fills every switch's routing table with shortest paths
 // (hop count, BFS). It must be called after the topology is complete and
-// before any traffic is sent.
+// before any traffic is sent. It also stamps every port with its stable
+// shard-domain index (hosts in creation order, then switch ports in
+// switch × attachment order — the same numbering Partition uses), so
+// serial runs order same-instant cross-domain deliveries by the
+// identical key a partitioned run produces at its epoch barriers.
 func (n *Network) ComputeRoutes() error {
+	d := 0
+	for _, h := range n.hosts {
+		if h.uplink != nil {
+			h.uplink.srcKey = d
+		}
+		d++
+	}
+	for _, s := range n.switches {
+		for _, p := range s.ports {
+			p.srcKey = d
+			d++
+		}
+	}
 	for _, s := range n.switches {
 		for _, dst := range n.nodes {
 			if dst.ID() == s.ID() {

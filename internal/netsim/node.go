@@ -1,6 +1,10 @@
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"dtdctcp/internal/sim"
+)
 
 // Node is anything packets can arrive at: a switch or a host.
 type Node interface {
@@ -30,6 +34,12 @@ type Switch struct {
 	routes map[NodeID]int
 	// droppedNoRoute counts packets with no matching route.
 	droppedNoRoute uint64
+
+	// Sharded execution (see Network.Partition): routeless packets have
+	// no egress domain, so they are charged to the shard of the first
+	// port, where noRouteFn counts and recycles them.
+	noRouteShard int
+	noRouteFn    func(any)
 }
 
 // ID implements Node.
@@ -81,6 +91,17 @@ type Host struct {
 	endpoints map[FlowID]Endpoint
 	// droppedNoFlow counts packets for unknown flows.
 	droppedNoFlow uint64
+
+	// engine is the event wheel this host's endpoints schedule on: the
+	// network's engine in a serial run, the owning shard's under
+	// Partition. pool is the packet free list on the same shard.
+	engine *sim.Engine
+	pool   *packetPool
+	// shard and recvArgFn serve cross-shard delivery: a remote port
+	// ships arriving packets as barrier messages running recvArgFn on
+	// this host's shard.
+	shard     int
+	recvArgFn func(any)
 }
 
 // ID implements Node.
@@ -95,6 +116,20 @@ func (h *Host) Uplink() *Port { return h.uplink }
 
 // Network returns the network the host belongs to.
 func (h *Host) Network() *Network { return h.net }
+
+// Engine returns the event wheel this host's endpoints must schedule on:
+// the network's engine in a serial run, the owning shard's engine after
+// Network.Partition. Transports bind timers and events through this
+// accessor so the same endpoint code runs serial or sharded unchanged.
+func (h *Host) Engine() *sim.Engine { return h.engine }
+
+// AllocPacket returns a zeroed packet from the host's free list (the
+// shard-local list under Partition, the network-wide one otherwise).
+// Endpoints must allocate through their host so packet storage stays on
+// the shard that fills it.
+//
+//dtlint:hotpath
+func (h *Host) AllocPacket() *Packet { return h.pool.get() }
 
 // Register attaches a transport endpoint for a flow. Registering a second
 // endpoint for the same flow panics: it is always a harness bug.
@@ -125,11 +160,11 @@ func (h *Host) Receive(pkt *Packet) {
 	ep, ok := h.endpoints[pkt.Flow]
 	if !ok {
 		h.droppedNoFlow++
-		h.net.FreePacket(pkt)
+		h.pool.put(pkt)
 		return
 	}
 	ep.Deliver(pkt)
-	h.net.FreePacket(pkt)
+	h.pool.put(pkt)
 }
 
 // DroppedNoFlow reports packets discarded for lack of an endpoint.

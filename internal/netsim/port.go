@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"time"
 
 	"dtdctcp/internal/aqm"
@@ -130,6 +131,26 @@ type Port struct {
 	// free of closure allocations.
 	txDoneFn  func(any)
 	deliverFn func(any)
+	// sendArgFn wraps Send for cross-shard injection: a remote domain
+	// whose route egresses here ships a barrier message that runs it on
+	// this port's shard.
+	sendArgFn func(any)
+
+	// pool is the packet free list drops and deliveries recycle into:
+	// the network-wide pool in a serial run, the owning shard's under
+	// Partition.
+	pool *packetPool
+	// shard and outbox bind the port for sharded execution (nil outbox ⇒
+	// serial). srcKey is the stable domain index the port ships under and
+	// xseq its per-domain monotone delivery counter; ComputeRoutes assigns
+	// srcKey for serial runs too, so a serial engine orders same-instant
+	// deliveries by the identical (srcKey, xseq) key a partitioned run
+	// uses at its barriers. srcKey < 0 means unassigned (a topology that
+	// never computed routes), which falls back to unkeyed scheduling.
+	shard  int
+	srcKey int
+	xseq   uint64
+	outbox *sim.Outbox
 }
 
 // PortConfig bundles the parameters of one directed link attachment.
@@ -158,9 +179,13 @@ func newPort(net *Network, cfg PortConfig, peer Node) *Port {
 		policy: policy,
 		peer:   peer,
 		queue:  pktRing{buf: make([]*Packet, ringInitialCap)},
+		pool:   &net.pool,
+		srcKey: -1,
 	}
 	//dtlint:hotpath
 	p.deliverFn = func(arg any) { p.peer.Receive(arg.(*Packet)) }
+	//dtlint:hotpath
+	p.sendArgFn = func(arg any) { p.Send(arg.(*Packet)) }
 	//dtlint:hotpath
 	p.txDoneFn = func(arg any) {
 		pkt := arg.(*Packet)
@@ -171,13 +196,85 @@ func newPort(net *Network, cfg PortConfig, peer Node) *Port {
 		if p.corruptProb > 0 && p.engine.Rand().Float64() < p.corruptProb {
 			p.dropFault(pkt, FaultCorrupt)
 		} else {
-			// Arrival at the peer after propagation; transmission of
-			// the next packet can begin immediately.
-			p.engine.AfterArg(p.delay, p.deliverFn, pkt)
+			p.ship(pkt)
 		}
 		p.transmitNext()
 	}
 	return p
+}
+
+// bindShard rebinds the port to its shard's engine, outbox, and pool,
+// recording the stable domain index used as the cross-shard sort key.
+func (p *Port) bindShard(se *sim.ShardedEngine, shard, srcKey int, pool *packetPool) {
+	p.engine = se.Shard(shard)
+	p.shard = shard
+	p.srcKey = srcKey
+	p.outbox = se.Outbox(shard)
+	p.pool = pool
+}
+
+// ship launches a serialized packet onto the wire: arrival at the peer
+// after the propagation delay. Serially that is one self-owned event; a
+// partitioned port instead ships a barrier message to the destination
+// domain, resolving the switch hop at the source (see shard.go) so the
+// message lands directly on the egress port's — or the peer host's —
+// shard. Both paths stamp the delivery with the ship instant and the
+// port's stable (srcKey, xseq) identity, so same-instant arrival ties at
+// the destination resolve identically whether the run is serial or
+// partitioned — a tie between two domains' deliveries is decided by the
+// topology-derived key, never by the engine-local scheduling
+// interleaving, which a partitioned run could not reproduce.
+//
+//dtlint:hotpath
+func (p *Port) ship(pkt *Packet) {
+	if p.outbox == nil {
+		if p.srcKey < 0 {
+			// Routes never computed: no stable identity to ship under.
+			p.engine.AfterArg(p.delay, p.deliverFn, pkt)
+			return
+		}
+		now := p.engine.Now()
+		p.engine.ScheduleSrcArg(now.Add(p.delay), p.srcKey, p.xseq, p.deliverFn, pkt)
+		p.xseq++
+		return
+	}
+	now := p.engine.Now()
+	dst, fn := p.resolveDst(pkt)
+	p.outbox.Ship(sim.Message{
+		At:      now.Add(p.delay),
+		SchedAt: now,
+		SrcKey:  p.srcKey,
+		SrcSeq:  p.xseq,
+		Dst:     dst,
+		Fn:      fn,
+		Arg:     pkt,
+	})
+	p.xseq++
+}
+
+// resolveDst maps a packet to its destination shard and delivery
+// function. Host peers take the packet directly; switch peers are
+// resolved through their static routing table to the egress port, whose
+// Send runs on its own shard at the arrival instant — the same lookup
+// Switch.Receive performs serially, against a table that is read-only
+// after ComputeRoutes.
+//
+//dtlint:hotpath
+func (p *Port) resolveDst(pkt *Packet) (int, func(any)) {
+	switch peer := p.peer.(type) {
+	case *Host:
+		return peer.shard, peer.recvArgFn
+	case *Switch:
+		idx, ok := peer.routes[pkt.Dst]
+		if !ok {
+			return peer.noRouteShard, peer.noRouteFn
+		}
+		egress := peer.ports[idx]
+		return egress.shard, egress.sendArgFn
+	default:
+		//dtlint:allow hotalloc: unreachable die path; nodes are hosts or switches
+		panic(fmt.Sprintf("netsim: unknown peer type %T", p.peer))
+	}
 }
 
 // SetMonitor attaches a queue monitor; pass nil to detach.
@@ -333,7 +430,7 @@ func (p *Port) drop(pkt *Packet, overflow bool) {
 	if p.tracer != nil {
 		p.tracer.PacketDropped(p.engine.Now(), pkt, p.queueLen, overflow)
 	}
-	p.net.FreePacket(pkt)
+	p.pool.put(pkt)
 }
 
 // dropFault discards a packet lost to a fault (corruption, dead link):
@@ -353,7 +450,7 @@ func (p *Port) dropFault(pkt *Packet, kind FaultKind) {
 	} else if p.tracer != nil {
 		p.tracer.PacketDropped(p.engine.Now(), pkt, p.queueLen, false)
 	}
-	p.net.FreePacket(pkt)
+	p.pool.put(pkt)
 }
 
 // Send offers a packet to the port. The AQM policy is consulted with the

@@ -1,0 +1,220 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"dtdctcp/internal/sim"
+)
+
+// This file cuts a Network into shard domains for parallel single-run
+// execution on a sim.ShardedEngine.
+//
+// The domain decomposition is fixed and independent of the shard count:
+// every host (together with its uplink port) is one domain, and every
+// switch port is one domain of its own. Domains are numbered
+// deterministically — hosts in creation order, then switch ports in
+// switch-creation × port-attachment order — and an assignment maps each
+// domain to a shard. Because the numbering never changes, the barrier
+// sort key (At, SchedAt, SrcKey=domain, SrcSeq) orders cross-domain
+// deliveries identically for every assignment, which is what makes
+// results byte-identical across shard counts and assignment
+// permutations.
+//
+// Every delivery that leaves a domain goes through the barrier mailbox,
+// even when source and destination domains happen to share a shard;
+// taking the shortcut only when co-located would make event sequence
+// numbers depend on the grouping. The switch hop is resolved at the
+// source: the shipping port looks up the egress port in the peer
+// switch's static routing table (read-only after ComputeRoutes, so
+// concurrent readers are safe) and targets the egress domain directly
+// with the egress port's Send. A serial run performs the identical
+// lookup inside Switch.Receive at the same virtual instant.
+
+// NumDomains returns the number of shard domains the topology cuts
+// into: one per host plus one per switch port.
+func (n *Network) NumDomains() int {
+	d := len(n.hosts)
+	for _, s := range n.switches {
+		d += len(s.ports)
+	}
+	return d
+}
+
+// HostDomain returns the domain index of a host (also the domain of its
+// uplink port).
+func (n *Network) HostDomain(h *Host) int {
+	for i, cand := range n.hosts {
+		if cand == h {
+			return i
+		}
+	}
+	panic("netsim: host not in this network")
+}
+
+// PortDomain returns the domain index of a switch port. Host uplinks
+// share their host's domain; pass those to HostDomain instead.
+func (n *Network) PortDomain(p *Port) int {
+	d := len(n.hosts)
+	for _, s := range n.switches {
+		for _, cand := range s.ports {
+			if cand == p {
+				return d
+			}
+			d++
+		}
+	}
+	panic("netsim: port is not a switch port of this network")
+}
+
+// DefaultAssign builds a deterministic domain→shard assignment: the
+// listed pinned domains go to shard 0 (the shard whose RNG stream equals
+// the serial engine's — pin every domain that draws from the root source
+// at runtime, such as a port with a randomized AQM policy), and the
+// remaining domains round-robin across all shards.
+func (n *Network) DefaultAssign(shards int, pinned ...int) []int {
+	assign := make([]int, n.NumDomains())
+	pin := make([]bool, len(assign))
+	for _, d := range pinned {
+		pin[d] = true
+		assign[d] = 0
+	}
+	next := 0
+	for d := range assign {
+		if pin[d] {
+			continue
+		}
+		assign[d] = next % shards
+		next++
+	}
+	return assign
+}
+
+// MinLinkDelay returns the smallest propagation delay over all ports —
+// the conservative lookahead bound for sharded execution. Events inside
+// an epoch window of this length cannot affect another domain within the
+// same window, because every cross-domain path crosses at least one
+// link.
+func (n *Network) MinLinkDelay() time.Duration {
+	min := time.Duration(-1)
+	for _, h := range n.hosts {
+		if h.uplink != nil && (min < 0 || h.uplink.delay < min) {
+			min = h.uplink.delay
+		}
+	}
+	for _, s := range n.switches {
+		for _, p := range s.ports {
+			if min < 0 || p.delay < min {
+				min = p.delay
+			}
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// Partition binds every domain of the topology to its assigned shard of
+// the coordinator: engines, packet pools, outboxes, and stable source
+// keys. Call it after ComputeRoutes (the source-side egress resolution
+// reads the routing tables) and before constructing endpoints (they bind
+// to Host.Engine at construction). The coordinator's lookahead is set to
+// the network's minimum link delay, and a barrier hook is registered to
+// level the per-shard packet free lists between epochs.
+func (n *Network) Partition(se *sim.ShardedEngine, assign []int) error {
+	if n.se != nil {
+		return fmt.Errorf("netsim: network already partitioned")
+	}
+	if got, want := len(assign), n.NumDomains(); got != want {
+		return fmt.Errorf("netsim: assignment covers %d domains, topology has %d", got, want)
+	}
+	for d, s := range assign {
+		if s < 0 || s >= se.NumShards() {
+			return fmt.Errorf("netsim: domain %d assigned to shard %d, engine has %d", d, s, se.NumShards())
+		}
+	}
+	la := n.MinLinkDelay()
+	if la <= 0 {
+		return fmt.Errorf("netsim: sharded execution requires positive link delays (lookahead)")
+	}
+	n.se = se
+	n.shardPools = make([]packetPool, se.NumShards())
+
+	d := 0
+	for _, h := range n.hosts {
+		shard := assign[d]
+		h.shard = shard
+		h.engine = se.Shard(shard)
+		h.pool = &n.shardPools[shard]
+		if h.uplink != nil {
+			h.uplink.bindShard(se, shard, d, h.pool)
+		}
+		d++
+	}
+	for _, s := range n.switches {
+		for _, p := range s.ports {
+			shard := assign[d]
+			p.bindShard(se, shard, d, &n.shardPools[shard])
+			d++
+		}
+	}
+	for _, s := range n.switches {
+		if len(s.ports) == 0 {
+			continue
+		}
+		first := s.ports[0]
+		s.noRouteShard = first.shard
+		sw, pool := s, first.pool
+		s.noRouteFn = func(arg any) {
+			sw.droppedNoRoute++
+			pool.put(arg.(*Packet))
+		}
+	}
+	se.SetLookahead(sim.FromDuration(la))
+	se.AddBarrierHook(n.rebalancePools)
+	return nil
+}
+
+// Sharded reports whether the network has been partitioned.
+func (n *Network) Sharded() bool { return n.se != nil }
+
+// rebalanceSlack is the per-pool surplus tolerated before the barrier
+// hook levels free lists. Data flows drain packets from sender shards
+// into receiver shards; without rebalancing the receiving pool grows
+// while the senders allocate fresh packets forever.
+const rebalanceSlack = 32
+
+// rebalancePools levels the shard packet pools toward the mean free-list
+// size. It runs in coordinator context at epoch barriers, when no shard
+// goroutine is active, so plain slice surgery is safe.
+func (n *Network) rebalancePools() {
+	total := 0
+	for i := range n.shardPools {
+		total += len(n.shardPools[i].free)
+	}
+	mean := total / len(n.shardPools)
+	for i := range n.shardPools {
+		free := n.shardPools[i].free
+		for len(free) > mean+rebalanceSlack {
+			k := len(free) - 1
+			n.spares = append(n.spares, free[k])
+			free[k] = nil
+			free = free[:k]
+		}
+		n.shardPools[i].free = free
+	}
+	for i := range n.shardPools {
+		if len(n.spares) == 0 {
+			break
+		}
+		free := n.shardPools[i].free
+		for len(n.spares) > 0 && len(free) < mean {
+			k := len(n.spares) - 1
+			free = append(free, n.spares[k])
+			n.spares[k] = nil
+			n.spares = n.spares[:k]
+		}
+		n.shardPools[i].free = free
+	}
+}

@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"dtdctcp/internal/sim"
+)
+
+// buildStar builds hostA—sw—hostB with the given per-link delays and
+// returns the network. Routes are computed.
+func buildStar(t *testing.T, engine *sim.Engine, dA, dB time.Duration) (*Network, *Host, *Host, *Switch) {
+	t.Helper()
+	n := NewNetwork(engine)
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	sw := n.AddSwitch("sw")
+	if err := n.Connect(a, sw, linkCfg(Gbps, dA, 64, nil), linkCfg(Gbps, dA, 64, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect(b, sw, linkCfg(Gbps, dB, 64, nil), linkCfg(Gbps, dB, 64, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	return n, a, b, sw
+}
+
+func TestDomainNumbering(t *testing.T) {
+	n, a, b, sw := buildStar(t, sim.NewEngine(1), 25*time.Microsecond, 25*time.Microsecond)
+	if got := n.NumDomains(); got != 4 {
+		t.Fatalf("NumDomains = %d, want 4 (2 hosts + 2 switch ports)", got)
+	}
+	if n.HostDomain(a) != 0 || n.HostDomain(b) != 1 {
+		t.Fatalf("host domains %d,%d, want 0,1 (creation order)", n.HostDomain(a), n.HostDomain(b))
+	}
+	for i := 0; i < sw.Ports(); i++ {
+		if got := n.PortDomain(sw.Port(i)); got != 2+i {
+			t.Fatalf("switch port %d domain = %d, want %d", i, got, 2+i)
+		}
+	}
+	// ComputeRoutes stamps the same numbering onto the ports themselves,
+	// so serial runs ship under the keys a partitioned run would use.
+	if a.uplink.srcKey != 0 || b.uplink.srcKey != 1 {
+		t.Fatalf("uplink srcKeys %d,%d, want host domains 0,1", a.uplink.srcKey, b.uplink.srcKey)
+	}
+	for i := 0; i < sw.Ports(); i++ {
+		if got := sw.Port(i).srcKey; got != 2+i {
+			t.Fatalf("switch port %d srcKey = %d, want %d", i, got, 2+i)
+		}
+	}
+}
+
+func TestDefaultAssign(t *testing.T) {
+	n, _, _, _ := buildStar(t, sim.NewEngine(1), 25*time.Microsecond, 25*time.Microsecond)
+	assign := n.DefaultAssign(2, 3)
+	if len(assign) != n.NumDomains() {
+		t.Fatalf("assignment covers %d domains, want %d", len(assign), n.NumDomains())
+	}
+	if assign[3] != 0 {
+		t.Fatalf("pinned domain 3 on shard %d, want 0", assign[3])
+	}
+	// The remaining domains round-robin: 0→0, 1→1, 2→0.
+	want := []int{0, 1, 0, 0}
+	for d, s := range assign {
+		if s != want[d] {
+			t.Fatalf("assign = %v, want %v", assign, want)
+		}
+	}
+}
+
+func TestMinLinkDelay(t *testing.T) {
+	n, _, _, _ := buildStar(t, sim.NewEngine(1), 25*time.Microsecond, 10*time.Microsecond)
+	if got := n.MinLinkDelay(); got != 10*time.Microsecond {
+		t.Fatalf("MinLinkDelay = %v, want 10µs", got)
+	}
+}
+
+func TestPartitionValidates(t *testing.T) {
+	se := sim.NewShardedEngine(1, 2)
+	n, _, _, _ := buildStar(t, se.Shard(0), 25*time.Microsecond, 25*time.Microsecond)
+	if err := n.Partition(se, []int{0}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if err := n.Partition(se, []int{0, 1, 2, 0}); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	good := n.DefaultAssign(2)
+	if err := n.Partition(se, good); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Sharded() {
+		t.Fatal("network does not report sharded after Partition")
+	}
+	if err := n.Partition(se, good); err == nil {
+		t.Fatal("double partition accepted")
+	}
+	if got, want := se.Lookahead(), sim.FromDuration(25*time.Microsecond); got != want {
+		t.Fatalf("lookahead %v, want %v", got, want)
+	}
+}
+
+func TestPartitionRejectsZeroDelay(t *testing.T) {
+	se := sim.NewShardedEngine(1, 2)
+	n, _, _, _ := buildStar(t, se.Shard(0), 0, 25*time.Microsecond)
+	if err := n.Partition(se, n.DefaultAssign(2)); err == nil {
+		t.Fatal("zero link delay accepted (no positive lookahead exists)")
+	}
+}
+
+// TestPartitionBindsDomains checks the concrete bindings Partition
+// installs: per-shard engines for hosts and ports, and per-shard pools.
+func TestPartitionBindsDomains(t *testing.T) {
+	se := sim.NewShardedEngine(1, 2)
+	n, a, b, sw := buildStar(t, se.Shard(0), 25*time.Microsecond, 25*time.Microsecond)
+	assign := n.DefaultAssign(2)
+	if err := n.Partition(se, assign); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Engine(); got != se.Shard(assign[0]) {
+		t.Fatalf("host a bound to wrong engine")
+	}
+	if got := b.Engine(); got != se.Shard(assign[1]) {
+		t.Fatalf("host b bound to wrong engine")
+	}
+	for i := 0; i < sw.Ports(); i++ {
+		p := sw.Port(i)
+		if p.outbox == nil {
+			t.Fatalf("switch port %d has no outbox after Partition", i)
+		}
+		if p.srcKey != 2+i {
+			t.Fatalf("switch port %d srcKey = %d after Partition, want %d", i, p.srcKey, 2+i)
+		}
+	}
+	if a.uplink.pool != a.pool {
+		t.Fatal("host uplink pool differs from host pool")
+	}
+}

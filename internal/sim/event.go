@@ -1,10 +1,22 @@
 package sim
 
 // Event is a unit of scheduled work, owned and recycled by its Engine.
-// Events are compared first by their firing time and then by their
-// sequence number, so two events scheduled for the same instant always
-// run in the order they were scheduled. This deterministic tie-break is
-// what makes runs reproducible.
+// Events are compared by firing time, then by the virtual instant they
+// were scheduled, then by source key, then by sequence number, so two
+// events scheduled for the same instant always run in a deterministic
+// order. This tie-break is what makes runs reproducible.
+//
+// For a single engine scheduling only unkeyed events the scheduling
+// instant and source key are redundant — they order exactly like
+// (at, seq). The extra key components matter for sharded execution:
+// a cross-domain delivery carries the virtual instant its sender shipped
+// it plus the sender's stable (srcKey, srcSeq) identity, so same-instant
+// ties between deliveries from different domains resolve identically
+// whether the run is serial or partitioned across any number of shards.
+// A serial tie-break by global sequence number alone could not be
+// reproduced by a partitioned run: the global interleaving of two
+// domains' scheduling calls depends on event genealogy arbitrarily far
+// back, which no bounded message payload can carry.
 //
 // Model code never touches an Event directly: Schedule and After return
 // an EventRef, a generation-checked handle that stays safe to use after
@@ -13,6 +25,18 @@ package sim
 type Event struct {
 	// at is the virtual instant the event fires.
 	at Time
+	// schedAt is the virtual instant the event was scheduled (for
+	// injected cross-shard deliveries: the sender's ship instant).
+	schedAt Time
+	// srcKey identifies the scheduling source for keyed events (a stable
+	// topology domain index ≥ 0); unkeyed events carry unkeyedSrc, which
+	// sorts before every domain so local events win exact (at, schedAt)
+	// ties against deliveries — the order a partitioned run necessarily
+	// produces, since deliveries are injected after local scheduling.
+	srcKey int
+	// srcSeq orders keyed events from the same source (a per-domain
+	// monotone counter); zero for unkeyed events.
+	srcSeq uint64
 	// Exactly one of run/runArg is set. runArg carries its argument out
 	// of band so hot paths can schedule without allocating a closure.
 	run    func()
@@ -82,10 +106,11 @@ func (r EventRef) Cancelled() bool {
 	return r.ev != nil && r.ev.gen == r.gen && r.ev.cancelled
 }
 
-// eventHeap is a binary min-heap of events ordered by (at, seq). It
-// implements the parts of container/heap we need by hand; the hand-rolled
-// version avoids interface boxing on the hot path (tens of millions of
-// events per experiment sweep).
+// eventHeap is a binary min-heap of events ordered by
+// (at, schedAt, srcKey, srcSeq, seq).
+// It implements the parts of container/heap we need by hand; the
+// hand-rolled version avoids interface boxing on the hot path (tens of
+// millions of events per experiment sweep).
 type eventHeap struct {
 	items []*Event
 }
@@ -93,11 +118,24 @@ type eventHeap struct {
 //dtlint:hotpath
 func (h *eventHeap) Len() int { return len(h.items) }
 
+// unkeyedSrc is the srcKey of events scheduled without a source
+// identity. It sorts before every topology domain (all ≥ 0).
+const unkeyedSrc = -1
+
 //dtlint:hotpath
 func (h *eventHeap) less(i, j int) bool {
 	a, b := h.items[i], h.items[j]
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	if a.srcKey != b.srcKey {
+		return a.srcKey < b.srcKey
+	}
+	if a.srcSeq != b.srcSeq {
+		return a.srcSeq < b.srcSeq
 	}
 	return a.seq < b.seq
 }

@@ -1,0 +1,475 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file is the sharded execution layer: a conservative
+// parallel-discrete-event coordinator over the single-threaded Engine.
+//
+// The topology is cut into shard domains, each owning one Engine (event
+// wheel, free list, RNG stream). Shards run concurrently inside epoch
+// windows bounded by the lookahead L — the minimum cross-shard link
+// propagation delay. The window arithmetic is the classic null-message
+// argument collapsed to a barrier: events executed in [w·L, (w+1)·L) can
+// only produce cross-shard effects at ≥ w·L + L = (w+1)·L, so every
+// message generated inside a window is injectable at the barrier that
+// closes it, before any shard has advanced past the message's firing
+// time. Messages are globally sorted by (At, SchedAt, SrcKey, SrcSeq)
+// before injection so the destination engines assign sequence numbers in
+// a shard-count-invariant order, and each injected event carries its
+// sender-side scheduling instant into the (at, schedAt, seq) ordering
+// key — reproducing the interleaving a serial run would have produced.
+//
+// Everything below the barrier (model code inside event handlers) stays
+// single-threaded per shard and is untouched; the goroutines and channels
+// live only in this explicitly marked synchronization layer.
+
+// errLookahead reports a coordinator misconfiguration.
+var errLookahead = errors.New("sim: sharded engine requires a positive lookahead")
+
+// tick is the virtual clock's resolution, used by the epoch loop to turn
+// the engine's inclusive horizon into the half-open windows the strict
+// runner consumes.
+const tick Time = 1
+
+// Message is one cross-shard delivery, shipped into an Outbox during an
+// epoch window and injected into the destination shard's event wheel at
+// the closing barrier.
+type Message struct {
+	// At is the virtual instant the delivery fires at the destination.
+	At Time
+	// SchedAt is the virtual instant the sender shipped it; it becomes
+	// the injected event's scheduling instant in the destination's
+	// (at, schedAt, seq) ordering key.
+	SchedAt Time
+	// SrcKey is the stable global index of the sending domain; together
+	// with SrcSeq it makes the barrier's global sort order total and
+	// independent of how domains are grouped into shards.
+	SrcKey int
+	// SrcSeq is the sender's monotone per-domain message counter.
+	SrcSeq uint64
+	// Dst is the destination shard index.
+	Dst int
+	// Fn runs with Arg on the destination shard at At.
+	Fn func(any)
+	// Arg is the delivery payload.
+	Arg any
+}
+
+// Outbox buffers one shard's outgoing cross-shard messages for the
+// current epoch window. Each shard appends only to its own outbox on its
+// own worker goroutine; the coordinator drains all outboxes between
+// windows.
+type Outbox struct {
+	msgs []Message
+}
+
+// Ship appends one message; called from model code on the owning shard's
+// goroutine.
+//
+//dtlint:hotpath
+func (o *Outbox) Ship(m Message) {
+	//dtlint:allow hotalloc: the outbox retains capacity across barriers; growth is amortized warm-up
+	o.msgs = append(o.msgs, m)
+}
+
+// barrierTask is coordinator-context work pinned to a virtual instant:
+// periodic samplers that must read state across shards. A task runs at
+// the barrier once every shard has processed all events before its
+// instant, which is exactly the state a serial run would present to a
+// sampler tick (up to same-instant ties with long-scheduled events).
+// Tasks are ordered by (at, schedAt, seq), mirroring the event key, so
+// same-instant task chains fire in their serial order.
+type barrierTask struct {
+	at      Time
+	schedAt Time
+	seq     uint64
+	fn      func(Time)
+}
+
+// ShardedEngine runs several Engines in lockstep epochs under a
+// conservative lookahead. Construct with NewShardedEngine, wire domains
+// to shards (see netsim.Network.Partition), set the lookahead, and drive
+// it with RunUntil/RunFor exactly like a plain Engine.
+type ShardedEngine struct {
+	shards    []*Engine
+	outboxes  []Outbox
+	lookahead Time
+	now       Time
+
+	tasks   []barrierTask // min-heap ordered by (at, schedAt, seq)
+	taskSeq uint64
+	hooks   []func()
+
+	// inbox is the coordinator's merge-sort scratch buffer, reused
+	// across barriers.
+	inbox []Message
+
+	stopped bool
+}
+
+// splitmix64 is the SplitMix64 finalizer; it turns (seed, shard) into a
+// well-distributed, stable per-shard seed.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ShardSeed derives the RNG seed of shard i from the run seed. Shard 0
+// uses the run seed itself so a one-shard topology reproduces the serial
+// engine's random stream bit for bit; higher shards get independent
+// SplitMix64-derived streams that depend only on (seed, i) — never on
+// the shard count — so any grouping of domains draws the same numbers.
+func ShardSeed(seed int64, i int) int64 {
+	if i == 0 {
+		return seed
+	}
+	return int64(splitmix64(uint64(seed) + uint64(i)))
+}
+
+// NewShardedEngine creates n engines seeded per ShardSeed.
+func NewShardedEngine(seed int64, n int) *ShardedEngine {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: sharded engine needs at least one shard, got %d", n))
+	}
+	se := &ShardedEngine{
+		shards:   make([]*Engine, n),
+		outboxes: make([]Outbox, n),
+	}
+	for i := range se.shards {
+		se.shards[i] = NewEngine(ShardSeed(seed, i))
+	}
+	return se
+}
+
+// NumShards returns the shard count.
+func (se *ShardedEngine) NumShards() int { return len(se.shards) }
+
+// Shard returns the i-th shard's engine. Model code owned by a shard
+// schedules on it exactly as in a serial run.
+func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+
+// Outbox returns the i-th shard's outbox for cross-shard shipping.
+func (se *ShardedEngine) Outbox(i int) *Outbox { return &se.outboxes[i] }
+
+// SetLookahead sets the epoch window length: the minimum cross-shard
+// link propagation delay. It must be positive before the first Run.
+func (se *ShardedEngine) SetLookahead(d Time) { se.lookahead = d }
+
+// Lookahead returns the configured epoch window length.
+func (se *ShardedEngine) Lookahead() Time { return se.lookahead }
+
+// Now returns the coordinator's clock: the instant of the task being
+// executed, or the last completed horizon. Model code inside shards must
+// use its own engine's Now.
+func (se *ShardedEngine) Now() Time { return se.now }
+
+// Stop makes the run loop return ErrStopped at the next barrier.
+func (se *ShardedEngine) Stop() { se.stopped = true }
+
+// ScheduleBarrier enqueues fn to run in coordinator context at the
+// barrier that reaches instant at: after every shard has processed all
+// events strictly before at, and before any processes an event at or
+// after it. This is the sharded home for periodic samplers that read
+// state across shards (mean α, byte counters); their reads are ordered
+// by the barrier's happens-before edges, so no locks are needed.
+func (se *ShardedEngine) ScheduleBarrier(at Time, fn func(Time)) {
+	if at < se.now {
+		panic(fmt.Sprintf("sim: barrier task into the past: now=%v at=%v", se.now, at))
+	}
+	se.tasks = append(se.tasks, barrierTask{at: at, schedAt: se.now, seq: se.taskSeq, fn: fn})
+	se.taskSeq++
+	se.taskUp(len(se.tasks) - 1)
+}
+
+// AddBarrierHook registers fn to run in coordinator context after every
+// barrier exchange (shard free-list rebalancing, conservation checks).
+func (se *ShardedEngine) AddBarrierHook(fn func()) { se.hooks = append(se.hooks, fn) }
+
+func (se *ShardedEngine) taskLess(i, j int) bool {
+	a, b := se.tasks[i], se.tasks[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	return a.seq < b.seq
+}
+
+func (se *ShardedEngine) taskUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !se.taskLess(i, parent) {
+			break
+		}
+		se.tasks[i], se.tasks[parent] = se.tasks[parent], se.tasks[i]
+		i = parent
+	}
+}
+
+func (se *ShardedEngine) popTask() barrierTask {
+	t := se.tasks[0]
+	n := len(se.tasks) - 1
+	se.tasks[0] = se.tasks[n]
+	se.tasks[n] = barrierTask{}
+	se.tasks = se.tasks[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && se.taskLess(right, left) {
+			smallest = right
+		}
+		if !se.taskLess(smallest, i) {
+			break
+		}
+		se.tasks[i], se.tasks[smallest] = se.tasks[smallest], se.tasks[i]
+		i = smallest
+	}
+	return t
+}
+
+// nextEventTime returns the earliest pending event instant across all
+// shards, or TimeNever.
+func (se *ShardedEngine) nextEventTime() Time {
+	next := TimeNever
+	for _, sh := range se.shards {
+		if t := sh.NextEventTime(); t != TimeNever && (next == TimeNever || t < next) {
+			next = t
+		}
+	}
+	return next
+}
+
+// msgsByKey orders barrier messages by (At, SchedAt, SrcKey, SrcSeq):
+// firing time, sender-side scheduling instant, then a total sender order
+// that depends only on the stable domain numbering — never on the
+// domain-to-shard grouping — so the injection order, and with it the
+// destination sequence numbering, is identical for every shard count.
+type msgsByKey []Message
+
+func (m msgsByKey) Len() int      { return len(m) }
+func (m msgsByKey) Swap(i, j int) { m[i], m[j] = m[j], m[i] }
+func (m msgsByKey) Less(i, j int) bool {
+	a, b := m[i], m[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.SchedAt != b.SchedAt {
+		return a.SchedAt < b.SchedAt
+	}
+	if a.SrcKey != b.SrcKey {
+		return a.SrcKey < b.SrcKey
+	}
+	return a.SrcSeq < b.SrcSeq
+}
+
+// exchange drains every outbox, sorts the union, and injects each
+// message into its destination shard. Coordinator context only.
+func (se *ShardedEngine) exchange() {
+	se.inbox = se.inbox[:0]
+	for i := range se.outboxes {
+		o := &se.outboxes[i]
+		se.inbox = append(se.inbox, o.msgs...)
+		for j := range o.msgs {
+			o.msgs[j] = Message{}
+		}
+		o.msgs = o.msgs[:0]
+	}
+	if len(se.inbox) == 0 {
+		return
+	}
+	sort.Sort(msgsByKey(se.inbox))
+	for i := range se.inbox {
+		m := &se.inbox[i]
+		se.shards[m.Dst].InjectSrcArg(m.At, m.SchedAt, m.SrcKey, m.SrcSeq, m.Fn, m.Arg)
+		se.inbox[i] = Message{}
+	}
+}
+
+// RunUntil executes all shards up to and including horizon end. A single
+// shard degenerates to the serial engine when no barrier tasks are
+// pending; otherwise the epoch loop below runs, interleaving parallel
+// event windows with coordinator-context barrier work.
+func (se *ShardedEngine) RunUntil(end Time) error {
+	if len(se.shards) == 1 && len(se.tasks) == 0 {
+		err := se.shards[0].RunUntil(end)
+		if se.now < end {
+			se.now = end
+		}
+		return err
+	}
+	if se.lookahead <= 0 {
+		return errLookahead
+	}
+	se.stopped = false
+
+	workers := se.startWorkers()
+	defer workers.close()
+
+	L := se.lookahead
+	for {
+		if se.stopped {
+			return ErrStopped
+		}
+		tev := se.nextEventTime()
+		ttask := TimeNever
+		if len(se.tasks) > 0 {
+			ttask = se.tasks[0].at
+		}
+		evDue := tev != TimeNever && tev <= end
+		taskDue := ttask != TimeNever && ttask <= end
+		if !evDue && !taskDue {
+			break
+		}
+		// A barrier task due no later than the earliest event runs first:
+		// every shard has already processed all events before its
+		// instant, which is the serial sampler's view. (A same-instant
+		// event scheduled even earlier in virtual time would precede the
+		// tick serially; periodic samplers are scheduled one period
+		// ahead, so in practice only RTO-scale timers could land there.)
+		if taskDue && (!evDue || ttask <= tev) {
+			t := se.popTask()
+			se.now = t.at
+			t.fn(t.at)
+			continue
+		}
+		// Dispatch the epoch window [tev, h): up to the grid boundary
+		// after tev, clipped to the next task instant and the horizon.
+		// Every cross-shard message shipped at an instant s inside the
+		// window fires at s + delay ≥ w·L + L ≥ h, so it is injectable at
+		// the closing barrier before any shard reaches it.
+		w := tev / L
+		h := (w + tick) * L
+		if taskDue && ttask < h {
+			h = ttask
+		}
+		if end+tick < h {
+			h = end + tick
+		}
+		if err := workers.dispatch(h); err != nil {
+			return err
+		}
+		se.now = h - tick
+		se.exchange()
+		for _, hook := range se.hooks {
+			hook()
+		}
+	}
+	// Horizon reached: advance every shard's clock to end (events past
+	// end stay queued, exactly like the serial engine's RunUntil).
+	for _, sh := range se.shards {
+		if err := sh.RunUntil(end); err != nil {
+			return err
+		}
+	}
+	se.now = end
+	return nil
+}
+
+// RunFor advances the sharded simulation by d virtual time.
+func (se *ShardedEngine) RunFor(d time.Duration) error {
+	return se.RunUntil(se.now.Add(d))
+}
+
+// Stats merges the shard engines' counters: totals are summed and
+// MaxPending is the maximum over shards (per-shard high-water marks do
+// not align in time, so their sum would overstate the global mark).
+func (se *ShardedEngine) Stats() EngineStats {
+	var total EngineStats
+	for _, sh := range se.shards {
+		s := sh.Stats()
+		total.Scheduled += s.Scheduled
+		total.Processed += s.Processed
+		total.Pending += s.Pending
+		total.Cancelled += s.Cancelled
+		total.Compactions += s.Compactions
+		total.FreeHits += s.FreeHits
+		total.FreeMisses += s.FreeMisses
+		if s.MaxPending > total.MaxPending {
+			total.MaxPending = s.MaxPending
+		}
+	}
+	return total
+}
+
+// shardWorkers is the pool of per-shard goroutines alive for one
+// RunUntil call. Shard 0 always runs inline on the coordinator
+// goroutine — it is the designated home of the run's root RNG consumers,
+// and with n shards only n−1 extra goroutines are needed.
+type shardWorkers struct {
+	se   *ShardedEngine
+	work []chan Time
+	done chan error
+}
+
+// startWorkers launches one goroutine per shard beyond the first. The
+// channels are the only synchronization in the whole scheme: a dispatch
+// send happens-after the coordinator's injections, and the join receive
+// happens-after the shard's window, so barrier-context reads and writes
+// of shard state need no locks.
+//
+//dtlint:shardboundary coordinator fan-out: one worker goroutine per shard beyond the inline shard 0
+func (se *ShardedEngine) startWorkers() *shardWorkers {
+	ws := &shardWorkers{
+		se:   se,
+		work: make([]chan Time, len(se.shards)),
+		done: make(chan error, len(se.shards)),
+	}
+	for i := 1; i < len(se.shards); i++ {
+		ch := make(chan Time)
+		ws.work[i] = ch
+		sh := se.shards[i]
+		go func() {
+			for h := range ch {
+				ws.done <- sh.RunStrictUntil(h)
+			}
+		}()
+	}
+	return ws
+}
+
+// dispatch runs every shard with work before h up to (but excluding) h
+// and joins them all before returning.
+//
+//dtlint:shardboundary epoch fan-out/join: sends bound the window, receives publish shard state to the barrier
+func (ws *shardWorkers) dispatch(h Time) error {
+	launched := 0
+	for i := 1; i < len(ws.se.shards); i++ {
+		if t := ws.se.shards[i].NextEventTime(); t != TimeNever && t < h {
+			ws.work[i] <- h
+			launched++
+		}
+	}
+	var err error
+	if t := ws.se.shards[0].NextEventTime(); t != TimeNever && t < h {
+		err = ws.se.shards[0].RunStrictUntil(h)
+	}
+	for ; launched > 0; launched-- {
+		if e := <-ws.done; e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// close terminates the worker goroutines.
+//
+//dtlint:shardboundary worker teardown closes the dispatch channels
+func (ws *shardWorkers) close() {
+	for _, ch := range ws.work {
+		if ch != nil {
+			close(ch)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestShardSeedStreams(t *testing.T) {
+	const seed = int64(42)
+	if got := ShardSeed(seed, 0); got != seed {
+		t.Fatalf("shard 0 must reuse the run seed (serial stream): got %d want %d", got, seed)
+	}
+	seen := map[int64]int{seed: 0}
+	for i := 1; i < 64; i++ {
+		s := ShardSeed(seed, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("shards %d and %d share seed %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+	// The stream of shard i is a function of (seed, i) only — never of
+	// the shard count — so regrouping domains cannot move a stream.
+	if ShardSeed(seed, 3) != ShardSeed(seed, 3) {
+		t.Fatal("ShardSeed is not a pure function")
+	}
+}
+
+// TestInjectKeyedHeapPosition is the regression test for a heap-ordering
+// bug: InjectArg once stamped the explicit scheduling instant after the
+// event had already been pushed (and sifted) under the engine clock, so a
+// same-instant tie between an injected delivery and a native event
+// resolved by the corrupted position instead of the (at, schedAt) key.
+func TestInjectKeyedHeapPosition(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Schedule(100, func() {
+		// At now=100, schedule a native event for t=200 (schedAt=100),
+		// then inject one for the same instant with an earlier schedAt.
+		// The injected event must run first despite being enqueued last.
+		e.Schedule(200, func() { order = append(order, "native") })
+		e.InjectArg(200, 50, func(any) { order = append(order, "injected") }, nil)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "injected" || order[1] != "native" {
+		t.Fatalf("tie resolved in wrong order: %v", order)
+	}
+}
+
+// TestSourceKeyedTieOrder pins the shard-invariant tie-break: events
+// firing at the same (at, schedAt) run in (srcKey, srcSeq) order, with
+// unkeyed events ahead of every keyed one, regardless of the order the
+// scheduling calls were made in.
+func TestSourceKeyedTieOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	rec := func(name string) func(any) {
+		return func(any) { order = append(order, name) }
+	}
+	e.ScheduleSrcArg(300, 7, 0, rec("d7s0"), nil)
+	e.ScheduleSrcArg(300, 2, 1, rec("d2s1"), nil)
+	e.ScheduleSrcArg(300, 2, 0, rec("d2s0"), nil)
+	e.ScheduleArg(300, rec("local"), nil)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"local", "d2s0", "d2s1", "d7s0"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tie order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestScheduleSrcArgRejectsNegativeKey(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative source key accepted")
+		}
+	}()
+	NewEngine(1).ScheduleSrcArg(1, -1, 0, func(any) {}, nil)
+}
+
+// TestExchangeInjectionOrder ships same-instant messages from several
+// outboxes and checks they execute in (At, SchedAt, SrcKey, SrcSeq)
+// order at the destination shard, independent of shipping order.
+func TestExchangeInjectionOrder(t *testing.T) {
+	se := NewShardedEngine(1, 2)
+	se.SetLookahead(100)
+	var order []string
+	rec := func(name string) func(any) {
+		return func(any) { order = append(order, name) }
+	}
+	// Shard 1 ships three deliveries to shard 0, all firing at t=150
+	// with ship instant 50, shipped out of key order.
+	se.Shard(1).Schedule(50, func() {
+		out := se.Outbox(1)
+		out.Ship(Message{At: 150, SchedAt: 50, SrcKey: 5, SrcSeq: 0, Dst: 0, Fn: rec("d5s0")})
+		out.Ship(Message{At: 150, SchedAt: 50, SrcKey: 3, SrcSeq: 1, Dst: 0, Fn: rec("d3s1")})
+		out.Ship(Message{At: 150, SchedAt: 50, SrcKey: 3, SrcSeq: 0, Dst: 0, Fn: rec("d3s0")})
+	})
+	if err := se.RunUntil(200); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"d3s0", "d3s1", "d5s0"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("injection order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestShardedRunMatchesSerialPingPong runs the same two-domain ping-pong
+// on one and two shards and requires identical completion counts and
+// final clocks — the sim-layer miniature of the system-level digest
+// tests in internal/core.
+func TestShardedRunMatchesSerialPingPong(t *testing.T) {
+	run := func(shards int) (uint64, Time) {
+		se := NewShardedEngine(7, shards)
+		se.SetLookahead(25)
+		// A single shard with no barrier work short-circuits to the plain
+		// engine and never drains outboxes; pin the epoch loop on.
+		se.ScheduleBarrier(0, func(Time) {})
+		a, b := se.Shard(0), se.Shard(shards-1)
+		outA, outB := se.Outbox(0), se.Outbox(shards-1)
+		var seqA, seqB uint64
+		count := 0
+		var pingB, pongA func(any)
+		pingB = func(any) {
+			count++
+			now := b.Now()
+			outB.Ship(Message{At: now + 25, SchedAt: now, SrcKey: 1, SrcSeq: seqB, Dst: 0, Fn: pongA})
+			seqB++
+		}
+		pongA = func(any) {
+			now := a.Now()
+			outA.Ship(Message{At: now + 25, SchedAt: now, SrcKey: 0, SrcSeq: seqA, Dst: shards - 1, Fn: pingB})
+			seqA++
+		}
+		a.Schedule(0, func() {
+			now := a.Now()
+			outA.Ship(Message{At: now + 25, SchedAt: now, SrcKey: 0, SrcSeq: seqA, Dst: shards - 1, Fn: pingB})
+			seqA++
+		})
+		if err := se.RunUntil(10_000); err != nil {
+			t.Fatal(err)
+		}
+		return se.Stats().Processed, se.Now()
+	}
+	wantProcessed, wantNow := run(1)
+	if wantProcessed == 0 {
+		t.Fatal("serial ping-pong processed no events")
+	}
+	for _, shards := range []int{2} {
+		gotProcessed, gotNow := run(shards)
+		if gotProcessed != wantProcessed || gotNow != wantNow {
+			t.Fatalf("shards=%d: processed=%d now=%v, want processed=%d now=%v",
+				shards, gotProcessed, gotNow, wantProcessed, wantNow)
+		}
+	}
+}
+
+// TestShardedStatsMerge checks the merged counters: sums over shards for
+// totals, maximum over shards for the pending high-water mark.
+func TestShardedStatsMerge(t *testing.T) {
+	se := NewShardedEngine(1, 2)
+	se.SetLookahead(10)
+	se.Shard(0).Schedule(5, func() {})
+	se.Shard(1).Schedule(5, func() {})
+	se.Shard(1).Schedule(6, func() {})
+	if err := se.RunUntil(20); err != nil {
+		t.Fatal(err)
+	}
+	st := se.Stats()
+	if st.Processed != 3 || st.Scheduled != 3 {
+		t.Fatalf("merged totals wrong: %+v", st)
+	}
+	if st.MaxPending != 2 {
+		t.Fatalf("MaxPending must be the max over shards (2), got %d", st.MaxPending)
+	}
+}
+
+// TestBarrierTaskOrdering runs barrier tasks scheduled for the same
+// instant in scheduling order, interleaved correctly with shard events.
+func TestBarrierTaskOrdering(t *testing.T) {
+	se := NewShardedEngine(1, 2)
+	se.SetLookahead(50)
+	var order []string
+	se.ScheduleBarrier(100, func(Time) { order = append(order, "task1") })
+	se.ScheduleBarrier(100, func(Time) { order = append(order, "task2") })
+	se.Shard(1).Schedule(99, func() { order = append(order, "event99") })
+	se.Shard(0).Schedule(101, func() { order = append(order, "event101") })
+	if err := se.RunUntil(200); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"event99", "task1", "task2", "event101"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestShardedRunForAdvancesClock pins the horizon semantics: after
+// RunFor/RunUntil the coordinator clock sits at the horizon even if all
+// shards drained early.
+func TestShardedRunForAdvancesClock(t *testing.T) {
+	se := NewShardedEngine(1, 2)
+	se.SetLookahead(25)
+	if err := se.RunFor(time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if want := FromDuration(time.Microsecond); se.Now() != want {
+		t.Fatalf("clock at %v, want %v", se.Now(), want)
+	}
+}

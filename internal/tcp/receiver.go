@@ -183,7 +183,7 @@ func (r *Receiver) flushAck() {
 	case r.cfg.Variant == RenoECN:
 		ece = r.eceLatched
 	}
-	ack := r.host.Network().AllocPacket()
+	ack := r.host.AllocPacket()
 	ack.Flow = r.flow
 	ack.Dst = r.peer
 	ack.Size = r.cfg.HeaderBytes
@@ -201,8 +201,10 @@ func (r *Receiver) flushAck() {
 	r.host.Send(ack)
 }
 
-// hostEngine digs the engine out of a host's network. Kept as a helper so
-// endpoint constructors take just the host.
+// hostEngine is the engine an endpoint on h must schedule on: the host's
+// own engine, which is the shard engine under partitioned execution and
+// the network's single engine otherwise. Kept as a helper so endpoint
+// constructors take just the host.
 func hostEngine(h *netsim.Host) *sim.Engine {
-	return h.Network().Engine()
+	return h.Engine()
 }

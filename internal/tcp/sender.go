@@ -201,7 +201,7 @@ func (s *Sender) trySend() {
 //
 //dtlint:hotpath
 func (s *Sender) transmit(seq int64, payload int) {
-	pkt := s.host.Network().AllocPacket()
+	pkt := s.host.AllocPacket()
 	pkt.Flow = s.flow
 	pkt.Dst = s.peer
 	pkt.Size = payload + s.cfg.HeaderBytes
