@@ -73,3 +73,61 @@ func TestRunCSVBadPath(t *testing.T) {
 		t.Fatal("unwritable csv path accepted")
 	}
 }
+
+func TestRunMetricsPlotShardsAndProfiles(t *testing.T) {
+	dir := t.TempDir()
+	mjson := filepath.Join(dir, "m.json")
+	mprom := filepath.Join(dir, "m.prom")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out strings.Builder
+	err := run([]string{"-flows", "2", "-duration", "3ms", "-warmup", "1ms",
+		"-shards", "2", "-plot",
+		"-metrics", mjson, "-metrics-prom", mprom,
+		"-cpuprofile", cpu, "-memprofile", mem}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{mjson, mprom, cpu, mem} {
+		if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+			t.Errorf("output %s missing or empty: %v", path, err)
+		}
+	}
+	if !strings.Contains(out.String(), "metrics written to") {
+		t.Fatal("missing metrics confirmation line")
+	}
+	if !strings.Contains(out.String(), "utilization") {
+		t.Fatal("missing summary")
+	}
+}
+
+func TestRunMetricsSampler(t *testing.T) {
+	mjson := filepath.Join(t.TempDir(), "m.json")
+	err := run([]string{"-flows", "2", "-duration", "3ms", "-warmup", "1ms",
+		"-metrics", mjson, "-metrics-sample", "1ms"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mjson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"series"`) {
+		t.Fatal("sampled snapshot has no series")
+	}
+}
+
+func TestRunBadOutputPaths(t *testing.T) {
+	for name, args := range map[string][]string{
+		"trace":      {"-trace", "/nonexistent-dir/t.jsonl"},
+		"metrics":    {"-metrics", "/nonexistent-dir/m.json"},
+		"prometheus": {"-metrics-prom", "/nonexistent-dir/m.prom"},
+		"cpuprofile": {"-cpuprofile", "/nonexistent-dir/c.pprof"},
+		"memprofile": {"-memprofile", "/nonexistent-dir/m.pprof"},
+	} {
+		full := append([]string{"-flows", "2", "-duration", "2ms", "-warmup", "1ms"}, args...)
+		if err := run(full, io.Discard); err == nil {
+			t.Errorf("unwritable %s path accepted", name)
+		}
+	}
+}

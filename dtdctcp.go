@@ -30,11 +30,13 @@ package dtdctcp
 import (
 	"context"
 	"errors"
+	"io"
 	"time"
 
 	"dtdctcp/internal/chaos"
 	"dtdctcp/internal/control"
 	"dtdctcp/internal/core"
+	"dtdctcp/internal/flowgen"
 	"dtdctcp/internal/fluid"
 	"dtdctcp/internal/netsim"
 	"dtdctcp/internal/stats"
@@ -286,3 +288,53 @@ func DefaultBuildup(p Protocol) BuildupConfig { return core.DefaultBuildup(p) }
 
 // RunBuildup executes the queue-buildup microbenchmark.
 func RunBuildup(cfg BuildupConfig) (*BuildupResult, error) { return core.RunBuildup(cfg) }
+
+// FabricConfig is a trace-driven workload on a multi-tier datacenter
+// fabric (k-ary fat-tree or leaf-spine Clos) with deterministic ECMP
+// routing.
+type FabricConfig = core.FabricConfig
+
+// FabricResult aggregates one fabric run: FCT percentiles per size
+// bucket, queue summaries at the core/aggregation tiers, mark and drop
+// rates, and the run's reproducibility digest.
+type FabricResult = core.FabricResult
+
+// LoadSweepPoint is one (load factor, result) sample of a fabric load
+// sweep.
+type LoadSweepPoint = core.LoadSweepPoint
+
+// FlowSizeCDF is an empirical flow-size distribution for trace-driven
+// workloads.
+type FlowSizeCDF = flowgen.CDF
+
+// TrafficMatrix selects how a workload draws flow endpoints.
+type TrafficMatrix = flowgen.Matrix
+
+// Traffic matrices.
+const (
+	TrafficRandom      = flowgen.Random
+	TrafficPermutation = flowgen.Permutation
+	TrafficIncast      = flowgen.Incast
+)
+
+// BuiltinFlowCDF returns a named builtin flow-size distribution:
+// "websearch", "websearch-small", or "datamining".
+func BuiltinFlowCDF(name string) (*FlowSizeCDF, error) { return flowgen.BuiltinCDF(name) }
+
+// ParseFlowCDF reads a flow-size trace in the ns2-style
+// "<size_bytes> [id] <cdf>" format.
+func ParseFlowCDF(r io.Reader) (*FlowSizeCDF, error) { return flowgen.ParseCDF(r) }
+
+// RunFabric executes a fabric scenario to completion.
+func RunFabric(cfg FabricConfig) (*FabricResult, error) { return core.RunFabric(cfg) }
+
+// SweepLoads runs the fabric at each load factor serially.
+func SweepLoads(base FabricConfig, loads []float64) ([]LoadSweepPoint, error) {
+	return core.SweepLoads(base, loads)
+}
+
+// SweepLoadsParallel runs the sweep points concurrently on up to workers
+// goroutines; results are byte-identical for any worker count.
+func SweepLoadsParallel(ctx context.Context, base FabricConfig, loads []float64, workers int) ([]LoadSweepPoint, error) {
+	return core.SweepLoadsParallel(ctx, base, loads, workers)
+}

@@ -1,6 +1,8 @@
 package dtdctcp
 
 import (
+	"context"
+	"strings"
 	"testing"
 	"time"
 )
@@ -123,5 +125,49 @@ func TestFacadeExtensionPresets(t *testing.T) {
 	codel := RenoCoDel(500*time.Microsecond, 5*time.Millisecond)
 	if codel.NewPolicy == nil || codel.NewPolicy(nil).Name() != "codel-ecn" {
 		t.Fatal("codel preset")
+	}
+}
+
+func TestFacadeFabric(t *testing.T) {
+	cdf, err := BuiltinFlowCDF("websearch-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuiltinFlowCDF("no-such-trace"); err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+	parsed, err := ParseFlowCDF(strings.NewReader("1460 0.5\n29200 1.0\n"))
+	if err != nil || parsed.Points() != 2 {
+		t.Fatalf("ParseFlowCDF: %v %v", parsed, err)
+	}
+	base := FabricConfig{
+		Protocol:     DTDCTCP(15, 25, 1.0/16),
+		Topology:     "leafspine",
+		Leaves:       2,
+		Spines:       2,
+		HostsPerLeaf: 2,
+		Rate:         Gbps,
+		HopDelay:     10 * time.Microsecond,
+		BufferPkts:   100,
+		CDF:          cdf,
+		Load:         0.4,
+		Flows:        40,
+		Matrix:       TrafficRandom,
+		Seed:         3,
+	}
+	res, err := RunFabric(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != res.Flows || len(res.Digest) != 16 {
+		t.Fatalf("fabric result: %+v", res)
+	}
+	pts, err := SweepLoads(base, []float64{0.2})
+	if err != nil || len(pts) != 1 || pts[0].Load != 0.2 {
+		t.Fatalf("SweepLoads: %v %v", pts, err)
+	}
+	ppts, err := SweepLoadsParallel(context.Background(), base, []float64{0.2}, 2)
+	if err != nil || len(ppts) != 1 || ppts[0].Result.Digest != pts[0].Result.Digest {
+		t.Fatalf("SweepLoadsParallel: %v %v", ppts, err)
 	}
 }

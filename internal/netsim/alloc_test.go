@@ -99,6 +99,54 @@ func TestPortSendSteadyStateAllocFree(t *testing.T) {
 	}
 }
 
+// TestECMPForwardSteadyStateAllocFree pins the multi-path egress: a
+// packet crossing a switch with an ECMP set resolves its port via the
+// flow hash, and that lookup must stay off the heap like the
+// single-path route lookup it replaces.
+func TestECMPForwardSteadyStateAllocFree(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions allocate; alloc accounting is meaningless")
+	}
+	e, n, h0, h1, s0, _, _ := diamond(t, 7)
+	if len(s0.ecmp[h1.ID()]) != 2 {
+		t.Fatal("diamond lost its ECMP set")
+	}
+	sink := &countingSink{}
+	for f := FlowID(1); f <= 8; f++ {
+		h1.Register(f, sink)
+	}
+
+	send := func() {
+		// Rotate flows so both equal-cost ports stay on the hot path.
+		for f := FlowID(1); f <= 8; f++ {
+			pkt := n.AllocPacket()
+			pkt.Flow = f
+			pkt.Dst = h1.ID()
+			pkt.Size = 1500
+			h0.Send(pkt)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	avg := testing.AllocsPerRun(200, func() {
+		send()
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("ECMP forwarding allocated %.2f times per batch, want 0", avg)
+	}
+	if sink.n == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
 // TestFlappingSteadyStateAllocFree pins the chaos drop paths onto the
 // free-list contract: a link that flaps down (flushing its queue) and up
 // while traffic keeps arriving, with probabilistic corruption on the

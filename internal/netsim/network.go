@@ -55,10 +55,11 @@ func (n *Network) AddHost(name string) *Host {
 // AddSwitch creates a switch node.
 func (n *Network) AddSwitch(name string) *Switch {
 	s := &Switch{
-		id:     NodeID(len(n.nodes)),
-		name:   name,
-		net:    n,
-		routes: make(map[NodeID]int),
+		id:      NodeID(len(n.nodes)),
+		name:    name,
+		net:     n,
+		portIdx: make(map[NodeID]int),
+		routes:  make(map[NodeID]int),
 	}
 	n.nodes = append(n.nodes, s)
 	n.switches = append(n.switches, s)
@@ -99,6 +100,10 @@ func (n *Network) attach(from, to Node, cfg PortConfig) (*Port, error) {
 		}
 		node.uplink = port
 	case *Switch:
+		if _, dup := node.portIdx[to.ID()]; dup {
+			return nil, fmt.Errorf("netsim: duplicate link %s → %s", node.name, to.Name())
+		}
+		node.portIdx[to.ID()] = len(node.ports)
 		node.ports = append(node.ports, port)
 	default:
 		return nil, fmt.Errorf("netsim: unknown node type %T", from)
@@ -114,6 +119,32 @@ func (n *Network) attach(from, to Node, cfg PortConfig) (*Port, error) {
 // serial runs order same-instant cross-domain deliveries by the
 // identical key a partitioned run produces at its epoch barriers.
 func (n *Network) ComputeRoutes() error {
+	n.stampDomains()
+	for _, s := range n.switches {
+		for _, dst := range n.nodes {
+			if dst.ID() == s.ID() {
+				continue
+			}
+			next, ok := n.nextHop(s.ID(), dst.ID())
+			if !ok {
+				return fmt.Errorf("netsim: no path from %s to %s", s.Name(), dst.Name())
+			}
+			idx, ok := s.portIdx[next]
+			if !ok {
+				return fmt.Errorf("netsim: inconsistent adjacency at %s", s.Name())
+			}
+			s.routes[dst.ID()] = idx
+		}
+	}
+	return nil
+}
+
+// stampDomains writes the stable shard-domain index onto every port
+// (hosts in creation order, then switch ports in switch × attachment
+// order — the numbering Partition uses), so serial runs order
+// same-instant cross-domain deliveries by the identical key a
+// partitioned run produces at its epoch barriers.
+func (n *Network) stampDomains() {
 	d := 0
 	for _, h := range n.hosts {
 		if h.uplink != nil {
@@ -127,26 +158,84 @@ func (n *Network) ComputeRoutes() error {
 			d++
 		}
 	}
+}
+
+// ComputeRoutesECMP fills the routing tables like ComputeRoutes, but
+// keeps every equal-cost shortest next hop instead of only the first: a
+// destination with two or more tied first hops gets an ECMP set, and
+// each switch resolves a packet's egress by hashing (salt, switch id,
+// flow id) over it — see Switch.egress. The salt should come from the
+// topology's seeded engine so placement is a pure function of the run
+// seed; ECMP sets are ordered by port index, so the choice is
+// reproducible and independent of shard count and domain assignment.
+// Like ComputeRoutes, it must be called after the topology is complete
+// and before any traffic (or Partition).
+func (n *Network) ComputeRoutesECMP(salt uint64) error {
+	n.stampDomains()
+	// dist[x] = hops from node x to the current destination along paths
+	// whose interior nodes are switches. Computed by BFS outward from the
+	// destination over the (symmetric) adjacency; hosts other than the
+	// destination take a distance but are never expanded, because they do
+	// not forward.
+	dist := make([]int, len(n.nodes))
+	queue := make([]NodeID, 0, len(n.nodes))
 	for _, s := range n.switches {
-		for _, dst := range n.nodes {
-			if dst.ID() == s.ID() {
-				continue
-			}
-			next, ok := n.nextHop(s.ID(), dst.ID())
-			if !ok {
-				return fmt.Errorf("netsim: no path from %s to %s", s.Name(), dst.Name())
-			}
-			idx := -1
-			for i, p := range s.ports {
-				if p.peer.ID() == next {
-					idx = i
-					break
+		s.hashSalt = salt
+		s.ecmp = make(map[NodeID][]int32)
+	}
+	for _, dstNode := range n.nodes {
+		dst := dstNode.ID()
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[dst] = 0
+		queue = append(queue[:0], dst)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if cur != dst {
+				if _, isHost := n.nodes[cur].(*Host); isHost {
+					continue
 				}
 			}
-			if idx < 0 {
+			for _, nb := range n.adjacency[cur] {
+				if dist[nb] < 0 {
+					dist[nb] = dist[cur] + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+		for _, s := range n.switches {
+			if s.id == dst {
+				continue
+			}
+			if dist[s.id] < 0 {
+				return fmt.Errorf("netsim: no path from %s to %s", s.Name(), dstNode.Name())
+			}
+			first := -1
+			var set []int32
+			for i, p := range s.ports {
+				peer := p.peer.ID()
+				if dist[peer] != dist[s.id]-1 {
+					continue
+				}
+				if peer != dst {
+					if _, isHost := n.nodes[peer].(*Host); isHost {
+						continue // hosts do not forward
+					}
+				}
+				if first < 0 {
+					first = i
+				}
+				set = append(set, int32(i))
+			}
+			if first < 0 {
 				return fmt.Errorf("netsim: inconsistent adjacency at %s", s.Name())
 			}
-			s.routes[dst.ID()] = idx
+			s.routes[dst] = first
+			if len(set) > 1 {
+				s.ecmp[dst] = set
+			}
 		}
 	}
 	return nil

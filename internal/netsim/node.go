@@ -30,8 +30,23 @@ type Switch struct {
 	name  string
 	net   *Network
 	ports []*Port
+	// portIdx maps a directly attached peer to its port index, built at
+	// wiring time so PortTo and route computation stay O(1) per lookup
+	// even on fat-tree switches with dozens of ports.
+	portIdx map[NodeID]int
 	// routes maps destination node → output port index.
 	routes map[NodeID]int
+	// ecmp lists every equal-cost egress port for destinations that have
+	// more than one shortest path; nil (or a missing key) means the
+	// single entry in routes is the only choice. Filled by
+	// ComputeRoutesECMP, read-only afterwards. Sets are ordered by port
+	// index so path selection is a pure function of (hashSalt, switch id,
+	// flow id) — identical in serial and sharded runs.
+	ecmp map[NodeID][]int32
+	// hashSalt seeds the ECMP flow hash; drawn once per topology from
+	// the engine's seeded source so path placement varies with the run
+	// seed but never with shard count or assignment.
+	hashSalt uint64
 	// droppedNoRoute counts packets with no matching route.
 	droppedNoRoute uint64
 
@@ -56,20 +71,53 @@ func (s *Switch) Ports() int { return len(s.ports) }
 
 // PortTo returns the port whose link leads directly to peer, or nil.
 func (s *Switch) PortTo(peer NodeID) *Port {
-	for _, p := range s.ports {
-		if p.peer.ID() == peer {
-			return p
-		}
+	if i, ok := s.portIdx[peer]; ok {
+		return s.ports[i]
 	}
 	return nil
 }
 
-// Receive implements Node: forward on the static route for the packet's
-// destination.
+// egress resolves the packet's output port index: the ECMP set when the
+// destination has several equal-cost next hops, the static route
+// otherwise. ECMP selection hashes (topology salt, switch id, flow id),
+// so a flow's path is fixed for its lifetime and identical whether the
+// lookup runs serially in Receive or at a shipping port's source-side
+// resolution on another shard.
+//
+//dtlint:hotpath
+func (s *Switch) egress(pkt *Packet) (int, bool) {
+	if s.ecmp != nil {
+		if set, ok := s.ecmp[pkt.Dst]; ok {
+			h := ecmpHash(s.hashSalt, uint64(s.id), uint64(pkt.Flow))
+			return int(set[h%uint64(len(set))]), true
+		}
+	}
+	idx, ok := s.routes[pkt.Dst]
+	return idx, ok
+}
+
+// ecmpHash mixes the topology salt, the switch identity, and the flow
+// identity with a splitmix64-style finalizer. Including the switch id
+// decorrelates consecutive hops (no path polarization: downstream
+// switches do not all make the same choice), and the salt makes
+// placement a function of the run seed.
+//
+//dtlint:hotpath
+func ecmpHash(salt, swID, flow uint64) uint64 {
+	z := salt ^ swID*0x9e3779b97f4a7c15 ^ flow*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// Receive implements Node: forward on the route — or the ECMP hash — for
+// the packet's destination.
 //
 //dtlint:hotpath
 func (s *Switch) Receive(pkt *Packet) {
-	idx, ok := s.routes[pkt.Dst]
+	idx, ok := s.egress(pkt)
 	if !ok {
 		s.droppedNoRoute++
 		s.net.FreePacket(pkt)

@@ -254,10 +254,11 @@ func (p *Port) ship(pkt *Packet) {
 
 // resolveDst maps a packet to its destination shard and delivery
 // function. Host peers take the packet directly; switch peers are
-// resolved through their static routing table to the egress port, whose
-// Send runs on its own shard at the arrival instant — the same lookup
-// Switch.Receive performs serially, against a table that is read-only
-// after ComputeRoutes.
+// resolved through their routing state to the egress port, whose
+// Send runs on its own shard at the arrival instant — the same
+// Switch.egress lookup (static route or ECMP hash) Receive performs
+// serially, against tables that are read-only after
+// ComputeRoutes/ComputeRoutesECMP.
 //
 //dtlint:hotpath
 func (p *Port) resolveDst(pkt *Packet) (int, func(any)) {
@@ -265,7 +266,7 @@ func (p *Port) resolveDst(pkt *Packet) (int, func(any)) {
 	case *Host:
 		return peer.shard, peer.recvArgFn
 	case *Switch:
-		idx, ok := peer.routes[pkt.Dst]
+		idx, ok := peer.egress(pkt)
 		if !ok {
 			return peer.noRouteShard, peer.noRouteFn
 		}

@@ -1,0 +1,87 @@
+package netsim_test
+
+// Exported-API partitioning tests, built on the shared topo.NewStar
+// helper: one sender host and one receiver around a switch gives the
+// same four shard domains (receiver 0, sender 1, switch ports 2 and 3)
+// the in-package buildStar tests use for the unexported internals.
+
+import (
+	"testing"
+	"time"
+
+	"dtdctcp/internal/netsim"
+	"dtdctcp/internal/sim"
+	"dtdctcp/internal/topo"
+)
+
+func apiStar(t *testing.T, engine *sim.Engine, accessDelay, bneckDelay time.Duration) *topo.Star {
+	t.Helper()
+	st, err := topo.NewStar(netsim.NewNetwork(engine), topo.StarConfig{
+		Senders:    1,
+		Access:     netsim.PortConfig{Rate: netsim.Gbps, Delay: accessDelay, Buffer: 64 * 1500},
+		Bottleneck: netsim.PortConfig{Rate: netsim.Gbps, Delay: bneckDelay, Buffer: 64 * 1500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestDefaultAssign(t *testing.T) {
+	st := apiStar(t, sim.NewEngine(1), 25*time.Microsecond, 25*time.Microsecond)
+	n := st.Net
+	assign := n.DefaultAssign(2, 3)
+	if len(assign) != n.NumDomains() {
+		t.Fatalf("assignment covers %d domains, want %d", len(assign), n.NumDomains())
+	}
+	if assign[3] != 0 {
+		t.Fatalf("pinned domain 3 on shard %d, want 0", assign[3])
+	}
+	// The remaining domains round-robin: 0→0, 1→1, 2→0.
+	want := []int{0, 1, 0, 0}
+	for d, s := range assign {
+		if s != want[d] {
+			t.Fatalf("assign = %v, want %v", assign, want)
+		}
+	}
+}
+
+func TestMinLinkDelay(t *testing.T) {
+	st := apiStar(t, sim.NewEngine(1), 25*time.Microsecond, 10*time.Microsecond)
+	if got := st.Net.MinLinkDelay(); got != 10*time.Microsecond {
+		t.Fatalf("MinLinkDelay = %v, want 10µs", got)
+	}
+}
+
+func TestPartitionValidates(t *testing.T) {
+	se := sim.NewShardedEngine(1, 2)
+	st := apiStar(t, se.Shard(0), 25*time.Microsecond, 25*time.Microsecond)
+	n := st.Net
+	if err := n.Partition(se, []int{0}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if err := n.Partition(se, []int{0, 1, 2, 0}); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	good := n.DefaultAssign(2)
+	if err := n.Partition(se, good); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Sharded() {
+		t.Fatal("network does not report sharded after Partition")
+	}
+	if err := n.Partition(se, good); err == nil {
+		t.Fatal("double partition accepted")
+	}
+	if got, want := se.Lookahead(), sim.FromDuration(25*time.Microsecond); got != want {
+		t.Fatalf("lookahead %v, want %v", got, want)
+	}
+}
+
+func TestPartitionRejectsZeroDelay(t *testing.T) {
+	se := sim.NewShardedEngine(1, 2)
+	st := apiStar(t, se.Shard(0), 25*time.Microsecond, 0)
+	if err := st.Net.Partition(se, st.Net.DefaultAssign(2)); err == nil {
+		t.Fatal("zero link delay accepted (no positive lookahead exists)")
+	}
+}

@@ -8,7 +8,9 @@ import (
 )
 
 // buildStar builds hostA—sw—hostB with the given per-link delays and
-// returns the network. Routes are computed.
+// returns the network. Routes are computed. Only the tests that poke
+// unexported fields live here; exported-API partition tests use the
+// shared topo.NewStar helper in shard_api_test.go.
 func buildStar(t *testing.T, engine *sim.Engine, dA, dB time.Duration) (*Network, *Host, *Host, *Switch) {
 	t.Helper()
 	n := NewNetwork(engine)
@@ -49,63 +51,6 @@ func TestDomainNumbering(t *testing.T) {
 		if got := sw.Port(i).srcKey; got != 2+i {
 			t.Fatalf("switch port %d srcKey = %d, want %d", i, got, 2+i)
 		}
-	}
-}
-
-func TestDefaultAssign(t *testing.T) {
-	n, _, _, _ := buildStar(t, sim.NewEngine(1), 25*time.Microsecond, 25*time.Microsecond)
-	assign := n.DefaultAssign(2, 3)
-	if len(assign) != n.NumDomains() {
-		t.Fatalf("assignment covers %d domains, want %d", len(assign), n.NumDomains())
-	}
-	if assign[3] != 0 {
-		t.Fatalf("pinned domain 3 on shard %d, want 0", assign[3])
-	}
-	// The remaining domains round-robin: 0→0, 1→1, 2→0.
-	want := []int{0, 1, 0, 0}
-	for d, s := range assign {
-		if s != want[d] {
-			t.Fatalf("assign = %v, want %v", assign, want)
-		}
-	}
-}
-
-func TestMinLinkDelay(t *testing.T) {
-	n, _, _, _ := buildStar(t, sim.NewEngine(1), 25*time.Microsecond, 10*time.Microsecond)
-	if got := n.MinLinkDelay(); got != 10*time.Microsecond {
-		t.Fatalf("MinLinkDelay = %v, want 10µs", got)
-	}
-}
-
-func TestPartitionValidates(t *testing.T) {
-	se := sim.NewShardedEngine(1, 2)
-	n, _, _, _ := buildStar(t, se.Shard(0), 25*time.Microsecond, 25*time.Microsecond)
-	if err := n.Partition(se, []int{0}); err == nil {
-		t.Fatal("short assignment accepted")
-	}
-	if err := n.Partition(se, []int{0, 1, 2, 0}); err == nil {
-		t.Fatal("out-of-range shard accepted")
-	}
-	good := n.DefaultAssign(2)
-	if err := n.Partition(se, good); err != nil {
-		t.Fatal(err)
-	}
-	if !n.Sharded() {
-		t.Fatal("network does not report sharded after Partition")
-	}
-	if err := n.Partition(se, good); err == nil {
-		t.Fatal("double partition accepted")
-	}
-	if got, want := se.Lookahead(), sim.FromDuration(25*time.Microsecond); got != want {
-		t.Fatalf("lookahead %v, want %v", got, want)
-	}
-}
-
-func TestPartitionRejectsZeroDelay(t *testing.T) {
-	se := sim.NewShardedEngine(1, 2)
-	n, _, _, _ := buildStar(t, se.Shard(0), 0, 25*time.Microsecond)
-	if err := n.Partition(se, n.DefaultAssign(2)); err == nil {
-		t.Fatal("zero link delay accepted (no positive lookahead exists)")
 	}
 }
 

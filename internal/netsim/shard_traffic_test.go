@@ -1,0 +1,127 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"dtdctcp/internal/sim"
+)
+
+// shardDiamond builds the ecmp_test diamond on a caller-owned engine so
+// the same topology can run serial and partitioned.
+func shardDiamond(t *testing.T, e *sim.Engine, salt uint64) (*Network, *Host, *Host) {
+	t.Helper()
+	n := NewNetwork(e)
+	h0 := n.AddHost("h0")
+	h1 := n.AddHost("h1")
+	s0 := n.AddSwitch("s0")
+	sA := n.AddSwitch("sA")
+	sB := n.AddSwitch("sB")
+	s3 := n.AddSwitch("s3")
+	cfg := linkCfg(Gbps, 10*time.Microsecond, 1<<14, nil)
+	for _, pair := range [][2]Node{{h0, s0}, {s0, sA}, {s0, sB}, {sA, s3}, {sB, s3}, {s3, h1}} {
+		if err := n.Connect(pair[0], pair[1], cfg, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.ComputeRoutesECMP(salt); err != nil {
+		t.Fatal(err)
+	}
+	return n, h0, h1
+}
+
+// driveDiamond pushes count packets per flow (flows 1..flows) from h0 to
+// h1, spaced 5µs apart, allocating through the host pool, and returns
+// the delivery counter.
+func driveDiamond(h0, h1 *Host, flows, count int) *countingSink {
+	sink := &countingSink{}
+	for f := 1; f <= flows; f++ {
+		h1.Register(FlowID(f), sink)
+	}
+	e := h0.Engine()
+	sent := 0
+	var step func()
+	step = func() {
+		for f := 1; f <= flows; f++ {
+			pkt := h0.AllocPacket()
+			pkt.Flow = FlowID(f)
+			pkt.Dst = h1.ID()
+			pkt.Size = 1500
+			h0.Send(pkt)
+		}
+		sent++
+		if sent < count {
+			e.After(5*time.Microsecond, step)
+		}
+	}
+	step()
+	return sink
+}
+
+// TestShardedForwardingMatchesSerial runs cross-shard data through the
+// ECMP diamond: the partitioned run must deliver exactly the serial
+// run's packet count, exercising the sharded ship/resolveDst path, the
+// host-pool allocation, and the barrier pool rebalancing (the receiver
+// shard accumulates every packet, so the free lists must level).
+func TestShardedForwardingMatchesSerial(t *testing.T) {
+	const salt, flows, rounds = 7, 8, 80
+
+	e := sim.NewEngine(3)
+	_, h0, h1 := shardDiamond(t, e, salt)
+	serial := driveDiamond(h0, h1, flows, rounds)
+	if err := e.RunFor(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if serial.n != flows*rounds {
+		t.Fatalf("serial delivered %d, want %d", serial.n, flows*rounds)
+	}
+
+	se := sim.NewShardedEngine(3, 2)
+	n, sh0, sh1 := shardDiamond(t, se.Shard(0), salt)
+	if err := n.Partition(se, n.DefaultAssign(2)); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Sharded() {
+		t.Fatal("network not sharded")
+	}
+	sharded := driveDiamond(sh0, sh1, flows, rounds)
+	if err := se.RunFor(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if sharded.n != serial.n {
+		t.Fatalf("sharded delivered %d, serial %d", sharded.n, serial.n)
+	}
+}
+
+// queueLog records queue-change notifications for MultiMonitor fan-out.
+type queueLog struct{ n int }
+
+func (q *queueLog) QueueChanged(sim.Time, int) { q.n++ }
+
+func TestMultiMonitorFansOut(t *testing.T) {
+	e := sim.NewEngine(1)
+	_, h0, h1 := shardDiamond(t, e, 7)
+	a, b := &queueLog{}, &queueLog{}
+	h0.Uplink().SetMonitor(MultiMonitor{a, b})
+	sink := driveDiamond(h0, h1, 1, 10)
+	if err := e.RunFor(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if sink.n != 10 {
+		t.Fatalf("delivered %d, want 10", sink.n)
+	}
+	if a.n == 0 || a.n != b.n {
+		t.Fatalf("monitors saw %d and %d changes, want equal and nonzero", a.n, b.n)
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	for kind, want := range map[FaultKind]string{
+		FaultCorrupt:  "corrupt",
+		FaultLinkDown: "link-down",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("FaultKind(%d).String() = %q, want %q", kind, got, want)
+		}
+	}
+}

@@ -221,3 +221,130 @@ func TestShardedRunForAdvancesClock(t *testing.T) {
 		t.Fatalf("clock at %v, want %v", se.Now(), want)
 	}
 }
+
+// TestShardedAccessorsAndStop covers the coordinator's small surface:
+// shard count, lookahead round-trip, barrier hooks firing at every
+// exchange, and Stop ending the run at the next barrier.
+func TestShardedAccessorsAndStop(t *testing.T) {
+	se := NewShardedEngine(1, 3)
+	if se.NumShards() != 3 {
+		t.Fatalf("NumShards = %d", se.NumShards())
+	}
+	se.SetLookahead(40)
+	if se.Lookahead() != 40 {
+		t.Fatalf("Lookahead = %v", se.Lookahead())
+	}
+	hooks := 0
+	se.AddBarrierHook(func() { hooks++ })
+	se.ScheduleBarrier(0, func(Time) {}) // pin the epoch loop on
+	se.Shard(0).Schedule(10, func() {})
+	se.Shard(1).Schedule(90, func() {})
+	if err := se.RunUntil(200); err != nil {
+		t.Fatal(err)
+	}
+	if hooks == 0 {
+		t.Fatal("barrier hook never ran")
+	}
+	se.Shard(2).Schedule(se.Shard(2).Now()+10, func() { se.Stop() })
+	if err := se.RunUntil(400); err != ErrStopped {
+		t.Fatalf("RunUntil after Stop = %v, want ErrStopped", err)
+	}
+}
+
+// TestEngineRunFor pins the serial RunFor horizon semantics in-package.
+func TestEngineRunFor(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(FromDuration(time.Microsecond/2), func() { ran = true })
+	if err := e.RunFor(time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("event inside the window did not run")
+	}
+	if want := FromDuration(time.Microsecond); e.Now() != want {
+		t.Fatalf("clock at %v, want %v", e.Now(), want)
+	}
+}
+
+// TestInjectValidation pins the inject-key invariants: a delivery may
+// never carry a scheduling instant after its firing instant, nor a
+// negative source key.
+func TestInjectValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("InjectArg schedAt>at", func() {
+		NewEngine(1).InjectArg(5, 10, func(any) {}, nil)
+	})
+	mustPanic("InjectSrcArg schedAt>at", func() {
+		NewEngine(1).InjectSrcArg(5, 10, 0, 0, func(any) {}, nil)
+	})
+	mustPanic("InjectSrcArg negative key", func() {
+		NewEngine(1).InjectSrcArg(10, 5, -1, 0, func(any) {}, nil)
+	})
+	mustPanic("NewShardedEngine zero shards", func() {
+		NewShardedEngine(1, 0)
+	})
+	mustPanic("barrier task into the past", func() {
+		se := NewShardedEngine(1, 2)
+		se.SetLookahead(10)
+		if err := se.RunUntil(100); err != nil {
+			t.Fatal(err)
+		}
+		se.ScheduleBarrier(50, func(Time) {})
+	})
+}
+
+// TestBarrierTaskHeapOrder pushes enough same- and mixed-instant tasks
+// through the coordinator heap to exercise its sift paths, and checks
+// full (at, schedAt, seq) ordering.
+func TestBarrierTaskHeapOrder(t *testing.T) {
+	se := NewShardedEngine(1, 2)
+	se.SetLookahead(20)
+	var order []int
+	rec := func(id int) func(Time) { return func(Time) { order = append(order, id) } }
+	for i, at := range []Time{90, 30, 70, 30, 50, 90, 10, 70} {
+		se.ScheduleBarrier(at, rec(i))
+	}
+	if err := se.RunUntil(200); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{6, 1, 3, 4, 2, 7, 0, 5} // by at, then scheduling order
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("task order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestExchangeSchedAtTieBreak ships same-instant messages whose keys
+// differ only in SchedAt, covering the second message-sort branch.
+func TestExchangeSchedAtTieBreak(t *testing.T) {
+	se := NewShardedEngine(1, 2)
+	se.SetLookahead(100)
+	var order []string
+	rec := func(name string) func(any) {
+		return func(any) { order = append(order, name) }
+	}
+	se.Shard(1).Schedule(60, func() {
+		out := se.Outbox(1)
+		out.Ship(Message{At: 170, SchedAt: 60, SrcKey: 1, SrcSeq: 0, Dst: 0, Fn: rec("late")})
+		out.Ship(Message{At: 170, SchedAt: 40, SrcKey: 9, SrcSeq: 0, Dst: 0, Fn: rec("early")})
+	})
+	if err := se.RunUntil(300); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "early" || order[1] != "late" {
+		t.Fatalf("order %v, want earlier SchedAt first", order)
+	}
+}

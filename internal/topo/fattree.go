@@ -1,0 +1,84 @@
+package topo
+
+import (
+	"fmt"
+
+	"dtdctcp/internal/netsim"
+)
+
+// FatTree wires a k-ary fat-tree (Al-Fares et al.): k pods of k/2 edge
+// and k/2 aggregation switches, (k/2)² core switches, and k/2 hosts per
+// edge switch — k³/4 hosts total. Aggregation switch i of every pod
+// connects to core switches [i·k/2, (i+1)·k/2). With equal link rates
+// the fabric is non-oversubscribed and every inter-pod host pair has
+// (k/2)² equal-cost paths, resolved per flow by the deterministic ECMP
+// hash.
+//
+// The network must be empty; k must be even and at least 2.
+func FatTree(nw *netsim.Network, k int, cfg Config) (*Fabric, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topo: fat-tree arity k = %d must be even and >= 2", k)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := emptyNetwork(nw); err != nil {
+		return nil, err
+	}
+	f := &Fabric{Net: nw, Kind: "fattree", cfg: cfg}
+	half := k / 2
+	rng := nw.Engine().Rand()
+
+	// Tiers in creation order: per-pod edge, per-pod aggregation, core.
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			f.Edge = append(f.Edge, nw.AddSwitch(fmt.Sprintf("p%de%d", p, e)))
+		}
+	}
+	for p := 0; p < k; p++ {
+		for a := 0; a < half; a++ {
+			f.Agg = append(f.Agg, nw.AddSwitch(fmt.Sprintf("p%da%d", p, a)))
+		}
+	}
+	for c := 0; c < half*half; c++ {
+		f.Core = append(f.Core, nw.AddSwitch(fmt.Sprintf("c%d", c)))
+	}
+
+	// Hosts hang off the edge tier, pod-major.
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			edge := f.Edge[p*half+e]
+			for h := 0; h < half; h++ {
+				host := nw.AddHost(fmt.Sprintf("p%dh%d", p, e*half+h))
+				f.Hosts = append(f.Hosts, host)
+				if err := nw.Connect(host, edge, cfg.hostUp(), cfg.hostDown(rng)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Intra-pod full bipartite edge ↔ aggregation mesh.
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				if err := nw.Connect(f.Edge[p*half+e], f.Agg[p*half+a], cfg.fabric(rng), cfg.fabric(rng)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Aggregation ↔ core: agg i of each pod owns core group i.
+	for p := 0; p < k; p++ {
+		for a := 0; a < half; a++ {
+			for j := 0; j < half; j++ {
+				if err := nw.Connect(f.Agg[p*half+a], f.Core[a*half+j], cfg.fabric(rng), cfg.fabric(rng)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := f.routes(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

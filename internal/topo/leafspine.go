@@ -1,0 +1,60 @@
+package topo
+
+import (
+	"fmt"
+
+	"dtdctcp/internal/netsim"
+)
+
+// LeafSpine wires a two-tier Clos: every leaf switch connects to every
+// spine switch, and hostsPerLeaf hosts hang off each leaf. Any two hosts
+// on different leaves have one equal-cost path per spine, resolved per
+// flow by the deterministic ECMP hash. The oversubscription ratio is
+// (hostsPerLeaf · host rate) : (spines · fabric rate) per leaf.
+//
+// The network must be empty; leaves, spines, and hostsPerLeaf must be
+// positive, with at least two hosts in total.
+func LeafSpine(nw *netsim.Network, leaves, spines, hostsPerLeaf int, cfg Config) (*Fabric, error) {
+	switch {
+	case leaves < 1 || spines < 1 || hostsPerLeaf < 1:
+		return nil, fmt.Errorf("topo: leaf-spine needs positive tier sizes (got %d×%d, %d hosts/leaf)",
+			leaves, spines, hostsPerLeaf)
+	case leaves*hostsPerLeaf < 2:
+		return nil, fmt.Errorf("topo: leaf-spine needs at least 2 hosts")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := emptyNetwork(nw); err != nil {
+		return nil, err
+	}
+	f := &Fabric{Net: nw, Kind: "leafspine", cfg: cfg}
+	rng := nw.Engine().Rand()
+
+	for l := 0; l < leaves; l++ {
+		f.Edge = append(f.Edge, nw.AddSwitch(fmt.Sprintf("leaf%d", l)))
+	}
+	for s := 0; s < spines; s++ {
+		f.Core = append(f.Core, nw.AddSwitch(fmt.Sprintf("spine%d", s)))
+	}
+	for l := 0; l < leaves; l++ {
+		for h := 0; h < hostsPerLeaf; h++ {
+			host := nw.AddHost(fmt.Sprintf("l%dh%d", l, h))
+			f.Hosts = append(f.Hosts, host)
+			if err := nw.Connect(host, f.Edge[l], cfg.hostUp(), cfg.hostDown(rng)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for l := 0; l < leaves; l++ {
+		for s := 0; s < spines; s++ {
+			if err := nw.Connect(f.Edge[l], f.Core[s], cfg.fabric(rng), cfg.fabric(rng)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := f.routes(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"dtdctcp/internal/aqm"
+	"dtdctcp/internal/netsim"
+	"dtdctcp/internal/sim"
+	"dtdctcp/internal/tcp"
+	"dtdctcp/internal/topo"
+)
+
+// starOn builds the test star on a caller-owned engine, so a serial and
+// a sharded run can be constructed from the same seed.
+func starOn(t *testing.T, e *sim.Engine, n int) (*netsim.Network, *topo.Star) {
+	t.Helper()
+	const pkt = 1500
+	nw := netsim.NewNetwork(e)
+	st, err := topo.NewStar(nw, topo.StarConfig{
+		Senders:    n,
+		Access:     netsim.PortConfig{Rate: 10 * netsim.Gbps, Delay: 20 * time.Microsecond, Buffer: 4000 * pkt},
+		Bottleneck: netsim.PortConfig{Rate: 1 * netsim.Gbps, Delay: 20 * time.Microsecond, Buffer: 400 * pkt, Policy: aqm.NewSingleThresholdPackets(40, pkt)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, st
+}
+
+// TestQueriesShardedMatchesSerial pins the relay-mode contract from
+// inside the package: StartQueriesSharded on a partitioned star must
+// reproduce the serial StartQueries run bit for bit — same round
+// boundaries, timeouts, retransmissions, and deadline misses.
+func TestQueriesShardedMatchesSerial(t *testing.T) {
+	const seed, workers = 11, 4
+	qcfg := func(hosts []*netsim.Host, agg *netsim.Host) QueryConfig {
+		return QueryConfig{
+			Workers:        hosts,
+			Aggregator:     agg,
+			BytesPerWorker: 32 << 10,
+			Rounds:         3,
+			Gap:            time.Millisecond, // ≥ 2× the 20µs lookahead
+			TCP:            tcp.DefaultConfig(tcp.DCTCP),
+			Persistent:     true, // relay mode is persistent-only
+			StartJitter:    20 * time.Microsecond,
+			Deadline:       50 * time.Millisecond,
+		}
+	}
+
+	e := sim.NewEngine(seed)
+	_, st := starOn(t, e, workers)
+	serial := StartQueries(e, qcfg(st.Senders, st.Receiver))
+	if err := e.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Done() {
+		t.Fatalf("serial run incomplete: %d rounds", len(serial.Rounds()))
+	}
+
+	se := sim.NewShardedEngine(seed, 2)
+	nw, sst := starOn(t, se.Shard(0), workers)
+	if err := nw.Partition(se, nw.DefaultAssign(2)); err != nil {
+		t.Fatal(err)
+	}
+	sharded := StartQueriesSharded(se, qcfg(sst.Senders, sst.Receiver))
+	if err := se.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !sharded.Done() {
+		t.Fatalf("sharded run incomplete: %d rounds", len(sharded.Rounds()))
+	}
+
+	sr, shr := serial.Rounds(), sharded.Rounds()
+	if len(sr) != len(shr) {
+		t.Fatalf("rounds: serial %d, sharded %d", len(sr), len(shr))
+	}
+	for i := range sr {
+		if sr[i] != shr[i] {
+			t.Fatalf("round %d differs: serial %+v, sharded %+v", i, sr[i], shr[i])
+		}
+	}
+	if serial.TotalTimeouts() != sharded.TotalTimeouts() {
+		t.Fatalf("timeouts: serial %d, sharded %d", serial.TotalTimeouts(), sharded.TotalTimeouts())
+	}
+	if serial.TotalMissedDeadlines() != sharded.TotalMissedDeadlines() {
+		t.Fatalf("deadline misses: serial %d, sharded %d",
+			serial.TotalMissedDeadlines(), sharded.TotalMissedDeadlines())
+	}
+}
+
+// TestQueriesShardedZeroRounds covers the degenerate relay setup: no
+// rounds means the runner is done immediately and installs no hooks.
+func TestQueriesShardedZeroRounds(t *testing.T) {
+	se := sim.NewShardedEngine(1, 2)
+	nw, st := starOn(t, se.Shard(0), 1)
+	if err := nw.Partition(se, nw.DefaultAssign(2)); err != nil {
+		t.Fatal(err)
+	}
+	q := StartQueriesSharded(se, QueryConfig{
+		Workers: st.Senders, Aggregator: st.Receiver, BytesPerWorker: 1000,
+		TCP: tcp.DefaultConfig(tcp.Reno),
+	})
+	if !q.Done() {
+		t.Fatal("zero-round sharded config should be done immediately")
+	}
+	if err := se.RunFor(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,35 +8,27 @@ import (
 	"dtdctcp/internal/netsim"
 	"dtdctcp/internal/sim"
 	"dtdctcp/internal/tcp"
+	"dtdctcp/internal/topo"
 )
 
-// star builds n sender hosts → switch → one receiver, bottleneck at the
-// switch→receiver port.
+// star builds n sender hosts → switch → one receiver via the shared
+// topo helper, bottleneck at the switch→receiver port.
 func star(t testing.TB, n int, bneckRate netsim.Rate, bufferPkts int, pol aqm.Policy) (
 	*sim.Engine, []*netsim.Host, *netsim.Host, *netsim.Port) {
 	t.Helper()
 	e := sim.NewEngine(7)
 	nw := netsim.NewNetwork(e)
-	sw := nw.AddSwitch("sw")
-	rcv := nw.AddHost("rcv")
 	const pkt = 1500
 	delay := 20 * time.Microsecond
-	access := netsim.PortConfig{Rate: 10 * bneckRate, Delay: delay, Buffer: 4000 * pkt}
-	bneck := netsim.PortConfig{Rate: bneckRate, Delay: delay, Buffer: bufferPkts * pkt, Policy: pol}
-	if err := nw.Connect(rcv, sw, access, bneck); err != nil {
+	st, err := topo.NewStar(nw, topo.StarConfig{
+		Senders:    n,
+		Access:     netsim.PortConfig{Rate: 10 * bneckRate, Delay: delay, Buffer: 4000 * pkt},
+		Bottleneck: netsim.PortConfig{Rate: bneckRate, Delay: delay, Buffer: bufferPkts * pkt, Policy: pol},
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
-	hosts := make([]*netsim.Host, n)
-	for i := range hosts {
-		hosts[i] = nw.AddHost("w")
-		if err := nw.Connect(hosts[i], sw, access, access); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := nw.ComputeRoutes(); err != nil {
-		t.Fatal(err)
-	}
-	return e, hosts, rcv, sw.PortTo(rcv.ID())
+	return e, st.Senders, st.Receiver, st.Bottleneck
 }
 
 func TestLongLivedFlowsMakeProgress(t *testing.T) {
