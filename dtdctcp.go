@@ -102,6 +102,17 @@ func SweepFlowsParallel(ctx context.Context, base DumbbellConfig, flows []int, w
 	return core.SweepFlowsParallel(ctx, base, flows, workers)
 }
 
+// HybridConfig describes a hybrid fluid/packet co-simulation: fluid
+// background flows against packet-level foreground traffic, or the same
+// scenario fully packet-level for reference.
+type HybridConfig = core.HybridConfig
+
+// HybridResult aggregates one hybrid (or reference) run.
+type HybridResult = core.HybridResult
+
+// RunHybrid executes a hybrid co-simulation scenario.
+func RunHybrid(cfg HybridConfig) (*HybridResult, error) { return core.RunHybrid(cfg) }
+
 // TestbedConfig describes the paper's four-switch NetFPGA testbed
 // (Fig. 13) as a simulator scenario.
 type TestbedConfig = core.TestbedConfig

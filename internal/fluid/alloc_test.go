@@ -1,0 +1,42 @@
+// Allocation-regression test for the fluid stepper's hot path: the
+// hybrid co-simulation calls Step thousands of times per simulated
+// second from inside engine events, so the integration step must touch
+// no allocator once constructed. Excluded from race builds (the race
+// runtime adds bookkeeping allocations).
+
+//go:build !race
+
+package fluid
+
+import "testing"
+
+// TestStepperStepAllocs pins the integration step at 0 allocs: the
+// delay history lives in a fixed ring, and the RK4 stage evaluations
+// are closure-free method calls.
+func TestStepperStepAllocs(t *testing.T) {
+	cfg := stepperConfig()
+	stp, err := NewStepper(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stp.Advance(500) // past the cold start, into the oscillating regime
+	allocs := testing.AllocsPerRun(200, func() {
+		stp.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("Stepper.Step allocates %.1f per call, want 0", allocs)
+	}
+	// The coupled configuration must stay alloc-free too.
+	stp.SetAmbientQueue(25)
+	stp.SetDrainCapacity(cfg.C / 2)
+	allocs = testing.AllocsPerRun(200, func() {
+		stp.SetAmbientQueue(25)
+		stp.SetDrainCapacity(cfg.C / 2)
+		stp.Step()
+		_ = stp.DepartureRate()
+		_ = stp.State()
+	})
+	if allocs != 0 {
+		t.Fatalf("coupled Step path allocates %.1f per call, want 0", allocs)
+	}
+}

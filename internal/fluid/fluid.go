@@ -135,61 +135,28 @@ type Result struct {
 	OscConfidence float64
 }
 
-// Solve integrates the model and samples the trajectory.
+// Solve integrates the model and samples the trajectory. It is a
+// one-shot driver over Stepper, which holds the numerics; incremental
+// integrations (the hybrid co-simulation) drive a Stepper directly.
 func Solve(cfg Config) (*Result, error) {
-	if cfg.N <= 0 || cfg.C <= 0 || cfg.D < 0 || cfg.Law == nil || cfg.Duration <= 0 {
+	if cfg.Duration <= 0 {
 		return nil, errors.New("fluid: invalid config")
 	}
-	r0 := cfg.R0()
-	h := cfg.Step
-	if h <= 0 {
-		h = r0 / 50
+	stp, err := NewStepper(cfg)
+	if err != nil {
+		return nil, err
 	}
+	h := stp.StepSize()
 	sampleEvery := cfg.SampleEvery
 	if sampleEvery <= 0 {
 		sampleEvery = 10 * h
 	}
-
-	w := cfg.W0
-	if w <= 0 {
-		w = 1
-	}
-	alpha := cfg.Alpha0
-	q := cfg.Q0
-
 	steps := int(cfg.Duration/h) + 1
-	// History of (q, qdot) at step granularity for the delayed lookup.
-	histQ := make([]float64, 0, steps+1)
-	histQd := make([]float64, 0, steps+1)
 
 	res := &Result{
 		Queue:  stats.NewSeries("q"),
 		Window: stats.NewSeries("W"),
 		Alpha:  stats.NewSeries("alpha"),
-	}
-
-	qdot := func(w, q float64) float64 {
-		return cfg.N*w/rtt(cfg, q) - cfg.C
-	}
-
-	// delayedP interpolates the queue state at t−R₀ from history; before
-	// the first R₀ the queue was empty and unmarked.
-	delayedP := func(step float64) float64 {
-		idx := step - r0/h
-		if idx < 0 {
-			return cfg.Law.P(cfg.Q0, 0)
-		}
-		i := int(idx)
-		if i >= len(histQ)-1 {
-			i = len(histQ) - 2
-			if i < 0 {
-				return cfg.Law.P(cfg.Q0, 0)
-			}
-		}
-		frac := idx - float64(i)
-		dq := histQ[i]*(1-frac) + histQ[i+1]*frac
-		dqd := histQd[i]*(1-frac) + histQd[i+1]*frac
-		return cfg.Law.P(dq, dqd)
 	}
 
 	half := cfg.Duration / 2
@@ -199,68 +166,22 @@ func Solve(cfg Config) (*Result, error) {
 
 	for step := 0; step < steps; step++ {
 		t := float64(step) * h
-		histQ = append(histQ, q)
-		histQd = append(histQd, qdot(w, q))
-
 		if t >= nextSample {
 			nextSample += sampleEvery
-			res.Queue.Add(t, q)
-			res.Window.Add(t, w)
-			res.Alpha.Add(t, alpha)
+			res.Queue.Add(t, stp.q)
+			res.Window.Add(t, stp.w)
+			res.Alpha.Add(t, stp.alpha)
 		}
 		if t >= half {
-			tail.Add(q)
-			if q < tailMin {
-				tailMin = q
+			tail.Add(stp.q)
+			if stp.q < tailMin {
+				tailMin = stp.q
 			}
-			if q > tailMax {
-				tailMax = q
+			if stp.q > tailMax {
+				tailMax = stp.q
 			}
 		}
-
-		// The delayed input is held constant across one step (it
-		// varies on the R₀ scale, 50 steps).
-		p := delayedP(float64(step))
-
-		dW := func(w, q float64) float64 {
-			r := rtt(cfg, q)
-			return 1/r - w*alpha*p/(2*r)
-		}
-		dA := func(q, a float64) float64 {
-			return cfg.G / rtt(cfg, q) * (p - a)
-		}
-		dQ := qdot
-
-		// RK4 on the coupled (W, α, q) system.
-		k1w, k1a, k1q := dW(w, q), dA(q, alpha), dQ(w, q)
-		k2w := dW(w+h/2*k1w, q+h/2*k1q)
-		k2a := dA(q+h/2*k1q, alpha+h/2*k1a)
-		k2q := dQ(w+h/2*k1w, q+h/2*k1q)
-		k3w := dW(w+h/2*k2w, q+h/2*k2q)
-		k3a := dA(q+h/2*k2q, alpha+h/2*k2a)
-		k3q := dQ(w+h/2*k2w, q+h/2*k2q)
-		k4w := dW(w+h*k3w, q+h*k3q)
-		k4a := dA(q+h*k3q, alpha+h*k3a)
-		k4q := dQ(w+h*k3w, q+h*k3q)
-
-		w += h / 6 * (k1w + 2*k2w + 2*k3w + k4w)
-		alpha += h / 6 * (k1a + 2*k2a + 2*k3a + k4a)
-		q += h / 6 * (k1q + 2*k2q + 2*k3q + k4q)
-
-		if w < 1 {
-			w = 1
-		}
-		if alpha < 0 {
-			alpha = 0
-		} else if alpha > 1 {
-			alpha = 1
-		}
-		if q < 0 {
-			q = 0
-		}
-		if cfg.BufferLimit > 0 && q > cfg.BufferLimit {
-			q = cfg.BufferLimit
-		}
+		stp.Step()
 	}
 
 	res.QueueMean = tail.Mean()
@@ -270,16 +191,4 @@ func Solve(cfg Config) (*Result, error) {
 	}
 	res.OscPeriod, res.OscConfidence = stats.EstimatePeriod(res.Queue.After(half))
 	return res, nil
-}
-
-func rtt(cfg Config, q float64) float64 {
-	if cfg.FixedRTT {
-		return cfg.R0()
-	}
-	if q < 0 {
-		q = 0
-	}
-	// Floor at 1ns: with D = 0 and an empty queue the instantaneous RTT
-	// would otherwise vanish and the 1/R terms of the ODEs blow up.
-	return math.Max(cfg.D+q/cfg.C, 1e-9)
 }

@@ -1,0 +1,282 @@
+package fluid
+
+import (
+	"errors"
+	"math"
+)
+
+// State is the exported integration state of a Stepper: everything needed
+// to observe, checkpoint, or couple the model mid-run.
+type State struct {
+	// Step counts completed RK4 steps; T = Step · StepSize seconds.
+	Step int
+	// T is the model time in seconds.
+	T float64
+	// W, Alpha and Q are the per-flow window (packets), the marking
+	// estimate, and the queue length (packets).
+	W, Alpha, Q float64
+	// Qdot is the instantaneous queue derivative N·W/R − C_drain in
+	// packets/second.
+	Qdot float64
+}
+
+// Stepper integrates the fluid model one fixed RK4 step at a time and
+// keeps its full state between calls, so an integration can be driven
+// incrementally — from a virtual-time event loop, for instance — instead
+// of in one Solve shot. The delayed marking lookup reads from a fixed
+// ring buffer holding exactly the last R₀ of history, so a step touches
+// no allocator no matter how long the run (TestStepperStepAllocs pins
+// the step at 0 allocs/op).
+//
+// Two external inputs exist for hybrid fluid/packet co-simulation and
+// default to neutral values: SetAmbientQueue adds a foreign queue
+// contribution (packet-level flows sharing the bottleneck) to the queue
+// the marking law and the RTT see, and SetDrainCapacity lowers the
+// drain rate below Config.C by the bandwidth those foreign flows
+// consume. With both untouched the Stepper reproduces Solve exactly —
+// Solve is implemented on top of it.
+type Stepper struct {
+	cfg Config
+	h   float64
+	r0  float64
+	// lag is the marking feedback delay in steps (R₀/h).
+	lag float64
+
+	step        int
+	w, alpha, q float64
+
+	// histQ and histQd are rings of the last ringCap steps of (q, q̇),
+	// indexed by absolute step number modulo ringCap. count is the
+	// number of entries ever pushed (== step count at push time).
+	histQ, histQd []float64
+	count         int
+	ringCap       int
+
+	// extQ and drainC are the hybrid coupling inputs: ambient queue in
+	// packets and effective drain capacity in packets/second.
+	extQ   float64
+	drainC float64
+}
+
+// NewStepper validates the configuration and prepares a resumable
+// integration at the initial conditions. Duration and SampleEvery are
+// Solve-level concerns and are ignored here.
+func NewStepper(cfg Config) (*Stepper, error) {
+	if cfg.N <= 0 || cfg.C <= 0 || cfg.D < 0 || cfg.Law == nil {
+		return nil, errors.New("fluid: invalid config")
+	}
+	r0 := cfg.R0()
+	h := cfg.Step
+	if h <= 0 {
+		h = r0 / 50
+	}
+	w := cfg.W0
+	if w <= 0 {
+		w = 1
+	}
+	lag := r0 / h
+	// The delayed lookup reaches back at most lag+1 whole steps; +3
+	// covers the interpolation pair and integer truncation.
+	ringCap := int(lag) + 3
+	return &Stepper{
+		cfg:     cfg,
+		h:       h,
+		r0:      r0,
+		lag:     lag,
+		w:       w,
+		alpha:   cfg.Alpha0,
+		q:       cfg.Q0,
+		histQ:   make([]float64, ringCap),
+		histQd:  make([]float64, ringCap),
+		ringCap: ringCap,
+		drainC:  cfg.C,
+	}, nil
+}
+
+// StepSize returns the RK4 step in seconds.
+func (s *Stepper) StepSize() float64 { return s.h }
+
+// State returns the current integration state.
+func (s *Stepper) State() State {
+	return State{
+		Step:  s.step,
+		T:     float64(s.step) * s.h,
+		W:     s.w,
+		Alpha: s.alpha,
+		Q:     s.q,
+		Qdot:  s.qdot(s.w, s.q),
+	}
+}
+
+// SetAmbientQueue sets the ambient (externally simulated) queue
+// contribution in packets. It is added to the fluid queue wherever the
+// queue level feeds back into the model — the marking law, the
+// queueing-delay term of the RTT, and the buffer cap — so the fluid
+// flows react to the total occupancy of a shared bottleneck. Negative
+// values clamp to zero.
+func (s *Stepper) SetAmbientQueue(pkts float64) {
+	if pkts < 0 || math.IsNaN(pkts) {
+		pkts = 0
+	}
+	s.extQ = pkts
+}
+
+// SetDrainCapacity sets the effective drain rate of the fluid queue in
+// packets/second — Config.C minus whatever bandwidth co-simulated
+// packet flows consumed. Values are clamped to [C/1000, C]: the fluid
+// share can be starved but never negative, and it can never exceed the
+// physical link.
+func (s *Stepper) SetDrainCapacity(c float64) {
+	lo := s.cfg.C / 1000
+	switch {
+	case math.IsNaN(c) || c < lo:
+		c = lo
+	case c > s.cfg.C:
+		c = s.cfg.C
+	}
+	s.drainC = c
+}
+
+// DrainCapacity returns the effective drain rate (packets/second).
+func (s *Stepper) DrainCapacity() float64 { return s.drainC }
+
+// AmbientQueue returns the ambient queue contribution (packets).
+func (s *Stepper) AmbientQueue() float64 { return s.extQ }
+
+// ArrivalRate returns the instantaneous fluid arrival rate N·W/R in
+// packets/second.
+func (s *Stepper) ArrivalRate() float64 {
+	return s.cfg.N * s.w / s.rtt(s.q)
+}
+
+// DepartureRate returns the rate at which fluid traffic leaves the
+// bottleneck: the full drain capacity while backlogged, the arrival
+// rate (capped by capacity) when the fluid queue is empty.
+func (s *Stepper) DepartureRate() float64 {
+	if s.q > 0 {
+		return s.drainC
+	}
+	return math.Min(s.ArrivalRate(), s.drainC)
+}
+
+// Advance runs n consecutive steps.
+func (s *Stepper) Advance(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Step advances the system by one RK4 step: push the current (q, q̇)
+// into the delay history, evaluate the delayed marking law (held
+// constant across the step — it varies on the R₀ scale, many steps),
+// integrate the coupled (W, α, q) system, and clamp to the physical
+// region (W ≥ 1, α ∈ [0, 1], 0 ≤ q ≤ buffer).
+//
+//dtlint:hotpath
+func (s *Stepper) Step() {
+	h := s.h
+	qd := s.qdot(s.w, s.q)
+	slot := s.count % s.ringCap
+	s.histQ[slot] = s.q
+	s.histQd[slot] = qd
+	s.count++
+
+	p := s.delayedP()
+	alpha := s.alpha
+
+	k1w, k1a, k1q := s.dW(s.w, s.q, p, alpha), s.dA(s.q, alpha, p), qd
+	k2w := s.dW(s.w+h/2*k1w, s.q+h/2*k1q, p, alpha)
+	k2a := s.dA(s.q+h/2*k1q, alpha+h/2*k1a, p)
+	k2q := s.qdot(s.w+h/2*k1w, s.q+h/2*k1q)
+	k3w := s.dW(s.w+h/2*k2w, s.q+h/2*k2q, p, alpha)
+	k3a := s.dA(s.q+h/2*k2q, alpha+h/2*k2a, p)
+	k3q := s.qdot(s.w+h/2*k2w, s.q+h/2*k2q)
+	k4w := s.dW(s.w+h*k3w, s.q+h*k3q, p, alpha)
+	k4a := s.dA(s.q+h*k3q, alpha+h*k3a, p)
+	k4q := s.qdot(s.w+h*k3w, s.q+h*k3q)
+
+	s.w += h / 6 * (k1w + 2*k2w + 2*k3w + k4w)
+	s.alpha += h / 6 * (k1a + 2*k2a + 2*k3a + k4a)
+	s.q += h / 6 * (k1q + 2*k2q + 2*k3q + k4q)
+
+	if s.w < 1 {
+		s.w = 1
+	}
+	if s.alpha < 0 {
+		s.alpha = 0
+	} else if s.alpha > 1 {
+		s.alpha = 1
+	}
+	if s.q < 0 {
+		s.q = 0
+	}
+	if lim := s.cfg.BufferLimit; lim > 0 {
+		lim -= s.extQ
+		if lim < 0 {
+			lim = 0
+		}
+		if s.q > lim {
+			s.q = lim
+		}
+	}
+	s.step++
+}
+
+// delayedP interpolates the queue state at t−R₀ from the ring history
+// and evaluates the marking law on it (plus the ambient contribution);
+// before the first R₀ the queue was at its initial condition, unmarked.
+//
+//dtlint:hotpath
+func (s *Stepper) delayedP() float64 {
+	idx := float64(s.step) - s.lag
+	if idx < 0 {
+		return s.cfg.Law.P(s.cfg.Q0+s.extQ, 0)
+	}
+	i := int(idx)
+	if i >= s.count-1 {
+		i = s.count - 2
+		if i < 0 {
+			return s.cfg.Law.P(s.cfg.Q0+s.extQ, 0)
+		}
+	}
+	frac := idx - float64(i)
+	j := i % s.ringCap
+	k := (i + 1) % s.ringCap
+	dq := s.histQ[j]*(1-frac) + s.histQ[k]*frac
+	dqd := s.histQd[j]*(1-frac) + s.histQd[k]*frac
+	return s.cfg.Law.P(dq+s.extQ, dqd)
+}
+
+// rtt returns the instantaneous round-trip time at fluid queue q: the
+// propagation delay plus the queueing delay of the total occupancy
+// (fluid plus ambient) draining at the full link rate.
+//
+//dtlint:hotpath
+func (s *Stepper) rtt(q float64) float64 {
+	if s.cfg.FixedRTT {
+		return s.r0
+	}
+	if q < 0 {
+		q = 0
+	}
+	q += s.extQ
+	// Floor at 1ns: with D = 0 and an empty queue the instantaneous RTT
+	// would otherwise vanish and the 1/R terms of the ODEs blow up.
+	return math.Max(s.cfg.D+q/s.cfg.C, 1e-9)
+}
+
+//dtlint:hotpath
+func (s *Stepper) qdot(w, q float64) float64 {
+	return s.cfg.N*w/s.rtt(q) - s.drainC
+}
+
+//dtlint:hotpath
+func (s *Stepper) dW(w, q, p, alpha float64) float64 {
+	r := s.rtt(q)
+	return 1/r - w*alpha*p/(2*r)
+}
+
+//dtlint:hotpath
+func (s *Stepper) dA(q, a, p float64) float64 {
+	return s.cfg.G / s.rtt(q) * (p - a)
+}

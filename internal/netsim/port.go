@@ -117,6 +117,13 @@ type Port struct {
 	monitor  QueueMonitor
 	tracer   PortTracer
 
+	// ambientBytes and ambientRate model co-simulated background traffic
+	// sharing this port (see SetAmbient in ambient.go): a foreign queue
+	// contribution biasing every occupancy the AQM and monitor see, and
+	// the bandwidth that traffic consumes.
+	ambientBytes int
+	ambientRate  Rate
+
 	// Runtime fault state (see SetDown / SetCorruptProb). txPkt and txRef
 	// track the packet currently in serialization so a link-down can cut
 	// it mid-transmission.
@@ -348,7 +355,7 @@ func (p *Port) SetBuffer(bytes int) {
 	for p.queueLen > p.buffer && p.queue.len() > 0 {
 		pkt := p.queue.popTail()
 		p.queueLen -= pkt.Size
-		p.policy.OnDeparture(p.engine.Now(), p.queueLen)
+		p.policy.OnDeparture(p.engine.Now(), p.totalQueueLen())
 		p.drop(pkt, true)
 	}
 	p.checkConservation()
@@ -412,7 +419,7 @@ func (p *Port) flushQueue() {
 	for p.queue.len() > 0 {
 		pkt := p.queue.pop()
 		p.queueLen -= pkt.Size
-		p.policy.OnDeparture(p.engine.Now(), p.queueLen)
+		p.policy.OnDeparture(p.engine.Now(), p.totalQueueLen())
 		p.dropFault(pkt, FaultLinkDown)
 	}
 	p.checkConservation()
@@ -464,15 +471,15 @@ func (p *Port) Send(pkt *Packet) {
 		p.dropFault(pkt, FaultLinkDown)
 		return
 	}
-	verdict := p.policy.OnArrival(p.engine.Now(), p.queueLen, pkt.Size)
+	verdict := p.policy.OnArrival(p.engine.Now(), p.totalQueueLen(), pkt.Size)
 	if verdict == aqm.Drop {
 		p.drop(pkt, false)
 		return
 	}
-	if p.queueLen+pkt.Size > p.buffer {
+	if p.totalQueueLen()+pkt.Size > p.buffer {
 		// The policy saw an arrival that never materialized; inform it
 		// of the unchanged occupancy so trend estimators stay honest.
-		p.policy.OnDeparture(p.engine.Now(), p.queueLen)
+		p.policy.OnDeparture(p.engine.Now(), p.totalQueueLen())
 		p.drop(pkt, true)
 		return
 	}
@@ -486,7 +493,7 @@ func (p *Port) Send(pkt *Packet) {
 		case markSubstitutesDrop(p.policy):
 			// RFC 3168 §5: a law whose mark replaces a drop must
 			// drop non-ECT traffic when it signals congestion.
-			p.policy.OnDeparture(p.engine.Now(), p.queueLen)
+			p.policy.OnDeparture(p.engine.Now(), p.totalQueueLen())
 			p.drop(pkt, false)
 			return
 		}
@@ -524,7 +531,7 @@ func (p *Port) transmitNext() {
 			break
 		}
 		sojourn := (p.engine.Now() - pkt.EnqueuedAt).Duration()
-		verdict := dq.OnDequeue(p.engine.Now(), sojourn, p.queueLen)
+		verdict := dq.OnDequeue(p.engine.Now(), sojourn, p.totalQueueLen())
 		if verdict == aqm.Drop {
 			p.drop(pkt, false)
 			p.notifyMonitor()
@@ -546,14 +553,14 @@ func (p *Port) transmitNext() {
 	}
 	p.stats.Dequeued++
 	p.stats.BytesSent += uint64(pkt.Size)
-	p.policy.OnDeparture(p.engine.Now(), p.queueLen)
+	p.policy.OnDeparture(p.engine.Now(), p.totalQueueLen())
 	if p.tracer != nil {
 		p.tracer.PacketDequeued(p.engine.Now(), pkt, p.queueLen)
 	}
 	p.notifyMonitor()
 
 	p.txPkt = pkt
-	p.txRef = p.engine.AfterArg(p.rate.Serialization(pkt.Size), p.txDoneFn, pkt)
+	p.txRef = p.engine.AfterArg(p.serializationRate(pkt.Size).Serialization(pkt.Size), p.txDoneFn, pkt)
 }
 
 // markSubstitutesDrop reports whether the policy's marks stand in for
@@ -568,7 +575,7 @@ func markSubstitutesDrop(pol aqm.Policy) bool {
 //dtlint:hotpath
 func (p *Port) notifyMonitor() {
 	if p.monitor != nil {
-		p.monitor.QueueChanged(p.engine.Now(), p.queueLen)
+		p.monitor.QueueChanged(p.engine.Now(), p.totalQueueLen())
 	}
 }
 
