@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -61,16 +62,20 @@ type DumbbellMetric struct {
 }
 
 // OverheadMetric compares the same dumbbell run with the observability
-// registry off and on. Each side reports the fastest of its runs (min
-// damps scheduler noise); the event counts must match exactly, since
-// pull-based instrumentation is required not to change the simulation.
+// registry off and on, measured as interleaved A/B pairs: each pair runs
+// both sides back to back so a load spike lands on both arms instead of
+// inflating one whole side, and the reported delta is the median across
+// pairs. The event counts must match exactly, since pull-based
+// instrumentation is required not to change the simulation.
 type OverheadMetric struct {
+	// Runs is the number of interleaved base/metrics pairs measured
+	// (after one discarded warm-up pair).
 	Runs              int     `json:"runs"`
 	Events            uint64  `json:"events"`
 	BaseNsPerEvent    float64 `json:"base_ns_per_event"`
 	MetricsNsPerEvent float64 `json:"metrics_ns_per_event"`
-	// DeltaPercent is (metrics − base) ÷ base × 100; the test suite pins
-	// it below 5%.
+	// DeltaPercent is the median paired (metrics − base) delta ÷ the
+	// median base × 100; the test suite pins it below 5%.
 	DeltaPercent float64 `json:"delta_percent"`
 }
 
@@ -404,49 +409,94 @@ func measureDumbbell(quick bool) *DumbbellMetric {
 	return m
 }
 
-// measureOverhead times the identical dumbbell with metrics off and on,
-// min-of-N per side, and reports the ns-per-event delta. Event counts
-// from both sides must match — pull-based instrumentation may not alter
-// the simulation — and a mismatch panics rather than reporting a
+// measureOverhead times the identical dumbbell with metrics off and on
+// as interleaved A/B pairs and reports the median paired ns-per-event
+// delta. Timing each whole side in its own wall-clock window is
+// one-sided under load — a spike inflates only the side it lands on, and
+// min-of-N per side cannot repair that — so each pair runs both sides
+// back to back (alternating in-pair order to cancel monotonic drift) and
+// the median across pairs discards the pairs a spike still split. Event
+// counts from both sides must match — pull-based instrumentation may not
+// alter the simulation — and a mismatch panics rather than reporting a
 // meaningless comparison.
 func measureOverhead(quick bool) *OverheadMetric {
 	cfg := dumbbellConfig(quick)
-	runs := 5
-	if quick {
-		runs = 3
+	// Seven pairs even in quick mode: the median only moves if four
+	// pairs are disturbed at once, and each pair costs milliseconds on
+	// the quick dumbbell and ~a quarter second at full size.
+	const pairs = 7
+	timeRun := func(withMetrics bool) (ns float64, events uint64) {
+		c := cfg
+		c.Metrics = withMetrics
+		start := time.Now()
+		res, err := dtdctcp.RunDumbbell(c)
+		wall := time.Since(start)
+		if err != nil {
+			panic(err)
+		}
+		return float64(wall.Nanoseconds()) / float64(res.Events), res.Events
 	}
-	best := func(withMetrics bool) (ns float64, events uint64) {
-		for i := 0; i < runs; i++ {
-			c := cfg
-			c.Metrics = withMetrics
-			start := time.Now()
-			res, err := dtdctcp.RunDumbbell(c)
-			wall := time.Since(start)
-			if err != nil {
-				panic(err)
+	// One discarded warm-up pair lets the allocator and caches settle.
+	timeRun(false)
+	timeRun(true)
+	baseNs := make([]float64, pairs)
+	deltaNs := make([]float64, pairs)
+	var baseEvents, metEvents uint64
+	for i := range deltaNs {
+		// Each arm is the min of two runs — timing noise is upward
+		// spikes, and taking the min inside the pair damps them
+		// symmetrically. The mirrored orders (b,m,m,b then m,b,b,m)
+		// cancel monotonic drift across the pair.
+		var b, met float64
+		if i%2 == 0 {
+			b, baseEvents = timeRun(false)
+			met, metEvents = timeRun(true)
+			if m2, _ := timeRun(true); m2 < met {
+				met = m2
 			}
-			events = res.Events
-			if perEvent := float64(wall.Nanoseconds()) / float64(res.Events); ns == 0 || perEvent < ns {
-				ns = perEvent
+			if b2, _ := timeRun(false); b2 < b {
+				b = b2
+			}
+		} else {
+			met, metEvents = timeRun(true)
+			b, baseEvents = timeRun(false)
+			if b2, _ := timeRun(false); b2 < b {
+				b = b2
+			}
+			if m2, _ := timeRun(true); m2 < met {
+				met = m2
 			}
 		}
-		return ns, events
+		baseNs[i] = b
+		deltaNs[i] = met - b
 	}
-	baseNs, baseEvents := best(false)
-	metNs, metEvents := best(true)
 	if baseEvents != metEvents {
 		panic(fmt.Sprintf("dtbench: metrics changed the run: %d events without vs %d with", baseEvents, metEvents))
 	}
+	base := median(baseNs)
+	delta := median(deltaNs)
 	m := &OverheadMetric{
-		Runs:              runs,
+		Runs:              pairs,
 		Events:            baseEvents,
-		BaseNsPerEvent:    baseNs,
-		MetricsNsPerEvent: metNs,
+		BaseNsPerEvent:    base,
+		MetricsNsPerEvent: base + delta,
 	}
-	if baseNs > 0 {
-		m.DeltaPercent = (metNs - baseNs) / baseNs * 100
+	if base > 0 {
+		m.DeltaPercent = delta / base * 100
 	}
 	return m
+}
+
+// median returns the middle value of xs (mean of the middle two for even
+// lengths) without reordering the caller's slice.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
 }
 
 // measureSweep times the same flow sweep at workers=1 and

@@ -92,35 +92,59 @@ func TestCommittedBaselineParses(t *testing.T) {
 	}
 }
 
-// TestMetricsOverheadSmoke runs the metrics-on/off benchmark pair in
-// quick mode and pins the observability tax: both runs must process the
-// identical event stream (pull-based collection cannot perturb the
-// simulation) and the per-event slowdown must stay under 5%.
+// TestMetricsOverheadSmoke runs the interleaved metrics-on/off pairs and
+// pins the observability tax. Both sides must process the identical
+// event stream (pull-based collection cannot perturb the simulation) and
+// the median paired per-event slowdown must stay under 8%: the committed
+// baseline records ~4.3%, and the pin leaves headroom for load noise
+// while still catching any regression that puts real work on the event
+// path (those show up at tens of percent). No retry loop: the paired
+// scheme absorbs load spikes inside each pair, so a single measurement
+// is the contract. It measures the full-size dumbbell, not -quick: on
+// the short quick run the registry's fixed sampling cost amortizes over
+// so few events that the honest tax alone exceeds the pin and per-run
+// jitter swamps the signal — the old min-of-N-per-side estimator only
+// passed there by systematically underestimating the delta.
 func TestMetricsOverheadSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing-sensitive smoke test")
 	}
-	// The two sides of the pair run in separate wall-clock windows, so a
-	// load spike on a busy machine inflates only one of them. Load noise
-	// is one-sided: the smallest delta across attempts is the closest to
-	// the true overhead, so retry the whole pair before failing.
-	var o *OverheadMetric
-	for attempt := 0; attempt < 3; attempt++ {
-		m := measureOverhead(true)
-		if m.Events == 0 {
-			t.Fatal("overhead pair processed no events")
-		}
-		if m.BaseNsPerEvent <= 0 || m.MetricsNsPerEvent <= 0 {
-			t.Fatalf("degenerate timings: base=%.2f metrics=%.2f", m.BaseNsPerEvent, m.MetricsNsPerEvent)
-		}
-		if o == nil || m.DeltaPercent < o.DeltaPercent {
-			o = m
-		}
-		if o.DeltaPercent < 5 {
-			break
-		}
+	o := measureOverhead(false)
+	if o.Events == 0 {
+		t.Fatal("overhead pairs processed no events")
 	}
-	if o.DeltaPercent >= 5 {
-		t.Fatalf("metrics overhead %.2f%% per event, want < 5%%", o.DeltaPercent)
+	if o.BaseNsPerEvent <= 0 {
+		t.Fatalf("degenerate base timing: %.2f ns/event", o.BaseNsPerEvent)
+	}
+	if o.Runs < 3 {
+		t.Fatalf("measured %d pairs, want at least 3 for a median", o.Runs)
+	}
+	if o.DeltaPercent >= 8 {
+		t.Fatalf("metrics overhead %.2f%% per event, want < 8%%", o.DeltaPercent)
+	}
+}
+
+// TestMedian pins the estimator the overhead pairing rests on, including
+// the even-length mean and input immutability.
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{-10, 2, 1000, 3, 4}, 3}, // outlier pairs do not move the median
+	}
+	for _, c := range cases {
+		in := append([]float64(nil), c.in...)
+		if got := median(in); got != c.want {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range in {
+			if in[i] != c.in[i] {
+				t.Fatalf("median reordered its input: %v -> %v", c.in, in)
+			}
+		}
 	}
 }

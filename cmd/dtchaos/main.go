@@ -93,6 +93,8 @@ func run(args []string, w *os.File) error {
 		rate       = fs.Int64("rate", int64(10*dtdctcp.Gbps), "bottleneck rate in bits per second")
 		seed       = fs.Int64("seed", 1, "engine seed")
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel sweep workers (results are identical for any value)")
+		zoo        = fs.Bool("zoo", false, "also run the DCTCP+ and HULL zoo protocols under every profile")
+		sbAlpha    = fs.Float64("sb-alpha", 0, "shared-buffer dynamic-threshold α; > 0 pools the bottleneck buffer")
 		metricsOut = fs.String("metrics", "", "write per-cell observability snapshots as JSON to this path")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this path")
@@ -113,7 +115,15 @@ func run(args []string, w *os.File) error {
 	if err != nil {
 		return err
 	}
-	reports, snaps, err := Sweep(plans, *flows, dtdctcp.Rate(*rate), *seed, *workers, *metricsOut != "")
+	reports, snaps, err := Sweep(plans, SweepOptions{
+		Flows:   *flows,
+		Rate:    dtdctcp.Rate(*rate),
+		Seed:    *seed,
+		Workers: *workers,
+		Metrics: *metricsOut != "",
+		Zoo:     *zoo,
+		SBAlpha: *sbAlpha,
+	})
 	if err != nil {
 		return err
 	}
@@ -170,21 +180,45 @@ func selectPlans(profiles, planPath string) ([]*chaos.Plan, error) {
 }
 
 // Protocols compared under every fault profile: the paper's baseline
-// and its contribution, at the paper's simulation parameters.
-func protocols() []dtdctcp.Protocol {
-	return []dtdctcp.Protocol{
+// and its contribution, at the paper's simulation parameters. With zoo
+// set, the DCTCP+ slow-timer sender and the HULL phantom-queue variant
+// join the comparison so the extended zoo is exercised under faults too.
+func protocols(zoo bool, rate dtdctcp.Rate) []dtdctcp.Protocol {
+	ps := []dtdctcp.Protocol{
 		dtdctcp.DCTCP(40, 1.0/16),
 		dtdctcp.DTDCTCP(30, 50, 1.0/16),
 	}
+	if zoo {
+		ps = append(ps,
+			dtdctcp.DCTCPPlus(40, 1.0/16),
+			dtdctcp.HULL(40, 0.95, rate, 1.0/16),
+		)
+	}
+	return ps
+}
+
+// SweepOptions parameterizes one fault sweep.
+type SweepOptions struct {
+	Flows   int
+	Rate    dtdctcp.Rate
+	Seed    int64
+	Workers int
+	Metrics bool
+	// Zoo adds the DCTCP+ and HULL zoo protocols to the comparison.
+	Zoo bool
+	// SBAlpha, when > 0, pools the bottleneck buffer behind a
+	// shared-buffer dynamic-threshold switch, so set-buffer fault
+	// events squeeze the pool rather than a private port buffer.
+	SBAlpha float64
 }
 
 // Sweep runs every (plan, protocol) pair and measures recovery. Points
-// run on up to workers goroutines; each owns a private engine seeded by
-// the configuration alone, so output is identical for any worker count.
-// With collectMetrics set, each cell also returns its observability
+// run on up to o.Workers goroutines; each owns a private engine seeded
+// by the configuration alone, so output is identical for any worker
+// count. With o.Metrics set, each cell also returns its observability
 // snapshot named "<profile>/<protocol>".
-func Sweep(plans []*chaos.Plan, flows int, rate dtdctcp.Rate, seed int64, workers int, collectMetrics bool) ([]Report, []metrics.Named, error) {
-	protos := protocols()
+func Sweep(plans []*chaos.Plan, o SweepOptions) ([]Report, []metrics.Named, error) {
+	protos := protocols(o.Zoo, o.Rate)
 	type point struct {
 		plan  *chaos.Plan
 		proto dtdctcp.Protocol
@@ -199,21 +233,24 @@ func Sweep(plans []*chaos.Plan, flows int, rate dtdctcp.Rate, seed int64, worker
 			pts = append(pts, point{plan, proto})
 		}
 	}
-	cells, err := runner.Map(context.Background(), len(pts), runner.Options{Workers: workers},
+	cells, err := runner.Map(context.Background(), len(pts), runner.Options{Workers: o.Workers},
 		func(_ context.Context, i int) (cell, error) {
 			pt := pts[i]
 			cfg := dtdctcp.DumbbellConfig{
 				Protocol:         pt.proto,
-				Flows:            flows,
-				Rate:             rate,
+				Flows:            o.Flows,
+				Rate:             o.Rate,
 				RTT:              100 * time.Microsecond,
 				BufferPkts:       250,
 				Duration:         40 * time.Millisecond,
 				Warmup:           10 * time.Millisecond,
 				QueueSampleEvery: 20 * time.Microsecond,
-				Seed:             seed,
+				Seed:             o.Seed,
 				Chaos:            pt.plan,
-				Metrics:          collectMetrics,
+				Metrics:          o.Metrics,
+			}
+			if o.SBAlpha > 0 {
+				cfg.SharedBuffer = dtdctcp.SharedBufferConfig{Alpha: o.SBAlpha}
 			}
 			res, err := dtdctcp.RunDumbbell(cfg)
 			if err != nil {
@@ -244,7 +281,7 @@ func Sweep(plans []*chaos.Plan, flows int, rate dtdctcp.Rate, seed int64, worker
 	var snaps []metrics.Named
 	for i, c := range cells {
 		reports[i] = c.rep
-		if collectMetrics {
+		if o.Metrics {
 			snaps = append(snaps, metrics.Named{
 				Name:     pts[i].plan.Name + "/" + pts[i].proto.Name,
 				Snapshot: c.snap,

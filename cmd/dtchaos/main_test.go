@@ -21,7 +21,7 @@ func sweepAll(t *testing.T) []Report {
 		}
 		plans = append(plans, p)
 	}
-	reports, _, err := Sweep(plans, 20, 1*dtdctcp.Gbps, 1, 0, false)
+	reports, _, err := Sweep(plans, SweepOptions{Flows: 20, Rate: 1 * dtdctcp.Gbps, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +72,11 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	one, _, err := Sweep([]*chaos.Plan{plan}, 12, 1*dtdctcp.Gbps, 3, 1, false)
+	one, _, err := Sweep([]*chaos.Plan{plan}, SweepOptions{Flows: 12, Rate: 1 * dtdctcp.Gbps, Seed: 3, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	eight, _, err := Sweep([]*chaos.Plan{plan}, 12, 1*dtdctcp.Gbps, 3, 8, false)
+	eight, _, err := Sweep([]*chaos.Plan{plan}, SweepOptions{Flows: 12, Rate: 1 * dtdctcp.Gbps, Seed: 3, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

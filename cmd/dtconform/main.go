@@ -8,6 +8,9 @@
 //
 //	dtconform                 # full grid, human-readable table
 //	dtconform -grid quick     # four-point smoke subset (CI)
+//	dtconform -grid zoo       # protocol & switch zoo grid (DCTCP+,
+//	                          # HULL phantom queues, shared-buffer DT)
+//	dtconform -grid zoo-quick # one zoo scenario per family
 //	dtconform -workers 8      # cap concurrent scenario runs
 //	dtconform -json           # machine-readable reports
 //	dtconform -digests        # also print the golden-run digests
@@ -29,12 +32,12 @@ import (
 )
 
 func main() {
-	grid := flag.String("grid", "full", `scenario set: "full" or "quick"`)
+	grid := flag.String("grid", "full", `scenario set: "full", "quick", "zoo", or "zoo-quick"`)
 	workers := flag.Int("workers", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit reports as JSON instead of a table")
 	digests := flag.Bool("digests", false, "also compute and print the golden-run digests")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: dtconform [-grid full|quick] [-workers N] [-json] [-digests]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dtconform [-grid full|quick|zoo|zoo-quick] [-workers N] [-json] [-digests]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,39 +55,64 @@ func main() {
 
 // output is the machine-readable shape of one invocation.
 type output struct {
-	Reports []conform.Report `json:"reports"`
-	Digests []conform.Digest `json:"digests,omitempty"`
-	Pass    bool             `json:"pass"`
+	Reports    []conform.Report    `json:"reports,omitempty"`
+	ZooReports []conform.ZooReport `json:"zoo_reports,omitempty"`
+	Digests    []conform.Digest    `json:"digests,omitempty"`
+	Pass       bool                `json:"pass"`
 }
 
 // run executes the selected grid and writes the report; it returns
 // whether every applicable check passed.
 func run(w io.Writer, grid string, workers int, jsonOut, digests bool) (bool, error) {
-	var scenarios []conform.Scenario
+	ctx := context.Background()
+	out := output{Pass: true}
+	var err error
 	switch grid {
-	case "full":
-		scenarios = conform.Grid()
-	case "quick":
-		scenarios = conform.QuickGrid()
-	default:
-		return false, fmt.Errorf("unknown grid %q (want full or quick)", grid)
-	}
-
-	reports, err := conform.RunGrid(context.Background(), scenarios, workers)
-	if err != nil {
-		return false, err
-	}
-	out := output{Reports: reports, Pass: true}
-	for _, r := range reports {
-		if !r.Pass() {
-			out.Pass = false
+	case "full", "quick":
+		scenarios := conform.Grid()
+		if grid == "quick" {
+			scenarios = conform.QuickGrid()
 		}
-	}
-	if digests {
-		out.Digests, err = conform.DigestGrid(context.Background(), conform.GoldenScenarios(), workers)
+		out.Reports, err = conform.RunGrid(ctx, scenarios, workers)
 		if err != nil {
 			return false, err
 		}
+		for _, r := range out.Reports {
+			if !r.Pass() {
+				out.Pass = false
+			}
+		}
+		if digests {
+			out.Digests, err = conform.DigestGrid(ctx, conform.GoldenScenarios(), workers)
+			if err != nil {
+				return false, err
+			}
+		}
+	case "zoo", "zoo-quick":
+		scenarios := conform.ZooGrid()
+		if grid == "zoo-quick" {
+			scenarios = conform.QuickZooGrid()
+		}
+		out.ZooReports, err = conform.RunZooGrid(ctx, scenarios, workers)
+		if err != nil {
+			return false, err
+		}
+		for _, r := range out.ZooReports {
+			if !r.Pass() {
+				out.Pass = false
+			}
+		}
+		if digests {
+			for _, z := range conform.ZooGoldenScenarios() {
+				d, err := conform.DigestZooRun(z)
+				if err != nil {
+					return false, err
+				}
+				out.Digests = append(out.Digests, d)
+			}
+		}
+	default:
+		return false, fmt.Errorf("unknown grid %q (want full, quick, zoo, or zoo-quick)", grid)
 	}
 
 	if jsonOut {
@@ -98,19 +126,27 @@ func run(w io.Writer, grid string, workers int, jsonOut, digests bool) (bool, er
 func writeTable(w io.Writer, out output) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "scenario\tcheck\tsim\tref\tverdict\tdetail")
+	row := func(scenario string, c conform.Check) {
+		verdict := "pass"
+		detail := c.Detail
+		switch {
+		case c.Skipped != "":
+			verdict = "skip"
+			detail = c.Skipped
+		case !c.Pass:
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.4g\t%.4g\t%s\t%s\n",
+			scenario, c.Name, c.Got, c.Ref, verdict, detail)
+	}
 	for _, r := range out.Reports {
 		for _, c := range r.Checks {
-			verdict := "pass"
-			detail := c.Detail
-			switch {
-			case c.Skipped != "":
-				verdict = "skip"
-				detail = c.Skipped
-			case !c.Pass:
-				verdict = "FAIL"
-			}
-			fmt.Fprintf(tw, "%s\t%s\t%.4g\t%.4g\t%s\t%s\n",
-				r.Scenario, c.Name, c.Got, c.Ref, verdict, detail)
+			row(r.Scenario, c)
+		}
+	}
+	for _, r := range out.ZooReports {
+		for _, c := range r.Checks {
+			row(r.Scenario, c)
 		}
 	}
 	if err := tw.Flush(); err != nil {
@@ -131,6 +167,6 @@ func writeTable(w io.Writer, out output) error {
 	if !out.Pass {
 		status = "FAIL"
 	}
-	_, err := fmt.Fprintf(w, "\nconformance: %s (%d scenarios)\n", status, len(out.Reports))
+	_, err := fmt.Fprintf(w, "\nconformance: %s (%d scenarios)\n", status, len(out.Reports)+len(out.ZooReports))
 	return err
 }

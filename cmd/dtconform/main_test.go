@@ -65,3 +65,60 @@ func TestUnknownGrid(t *testing.T) {
 		t.Fatal("unknown grid name must error")
 	}
 }
+
+// The zoo quick grid must pass end to end, render one scenario per
+// family, and round-trip through -json with the zoo golden digests.
+func TestZooQuickGridTable(t *testing.T) {
+	var buf bytes.Buffer
+	ok, err := run(&buf, "zoo-quick", 0, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("zoo quick grid failed:\n%s", buf.String())
+	}
+	text := buf.String()
+	if !strings.Contains(text, "conformance: PASS (3 scenarios)") {
+		t.Fatalf("missing summary:\n%s", text)
+	}
+	for _, want := range []string{
+		"zoo-plus-vs-dt-incast-w16", "zoo-hull-g95-n20",
+		"zoo-sharedbuf-single-port-limit", "queue-trace/pooled-vs-private",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("table missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "FAIL") {
+		t.Fatalf("unexpected failing row:\n%s", text)
+	}
+}
+
+func TestZooQuickJSONWithDigests(t *testing.T) {
+	var buf bytes.Buffer
+	ok, err := run(&buf, "zoo-quick", 2, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("zoo quick grid failed")
+	}
+	var out output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if !out.Pass || len(out.ZooReports) != 3 {
+		t.Fatalf("want 3 passing zoo reports, got pass=%v n=%d", out.Pass, len(out.ZooReports))
+	}
+	if len(out.Reports) != 0 {
+		t.Fatalf("zoo grid must not emit cross-model reports, got %d", len(out.Reports))
+	}
+	if len(out.Digests) != 3 {
+		t.Fatalf("want 3 zoo golden digests, got %d", len(out.Digests))
+	}
+	for _, d := range out.Digests {
+		if d.QueueHash == "" || d.Events == 0 {
+			t.Fatalf("empty digest: %+v", d)
+		}
+	}
+}

@@ -48,7 +48,7 @@ type settings struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dtexperiments", flag.ContinueOnError)
 	var (
-		figs       = fs.String("fig", "1,2,6,9,10,11,12,14,15", "comma-separated figure ids to run (extensions: aqm, d2, buildup)")
+		figs       = fs.String("fig", "1,2,6,9,10,11,12,14,15", "comma-separated figure ids to run (extensions: aqm, d2, buildup, zoo)")
 		short      = fs.Bool("short", false, "reduced durations for a quick pass")
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent sweep points (results are identical for any value)")
 		shards     = fs.Int("shards", 1, "shard domains of each packet-level run across this many parallel event wheels (results are byte-identical for any count)")
@@ -99,6 +99,7 @@ func run(args []string, out io.Writer) error {
 		"aqm":     extAQM,
 		"d2":      extDeadlines,
 		"buildup": extBuildup,
+		"zoo":     extZoo,
 	}
 	ran := make(map[string]bool)
 	for _, id := range strings.Split(*figs, ",") {
@@ -440,6 +441,8 @@ func extAQM(s settings, out io.Writer) error {
 		dtdctcp.RenoCoDel(200*time.Microsecond, time.Millisecond),
 		dtdctcp.DCTCP(40, 1.0/16),
 		dtdctcp.DTDCTCP(30, 50, 1.0/16),
+		dtdctcp.DCTCPPlus(40, 1.0/16),
+		dtdctcp.HULL(40, 0.95, 10*dtdctcp.Gbps, 1.0/16),
 	}
 	fmt.Fprintf(out, "%-28s %10s %8s %8s %9s %8s\n",
 		"protocol", "mean(pkt)", "sd(pkt)", "util", "marks", "drops")
@@ -488,6 +491,84 @@ func extBuildup(_ settings, out io.Writer) error {
 			res.QueueMeanPkts)
 	}
 	fmt.Fprintln(out, "\nshort-flow latency is the standing queue: DropTail stacks ~500 pkts in front of every short transfer")
+	return nil
+}
+
+// extZoo runs the protocol-and-switch zoo: the sender-side DCTCP+ slow
+// timer against the switch-side DT-DCTCP fix on the testbed incast, the
+// HULL phantom-queue γ sweep (utilization pins at γ while the real queue
+// keeps headroom), and the shared-buffer dynamic-threshold switch across
+// α (the bottleneck queue caps at αB/(1+α)).
+func extZoo(s settings, out io.Writer) error {
+	header(out, "Zoo — DCTCP+ vs DT-DCTCP vs DCTCP incast (64 KB per worker)")
+	fmt.Fprintf(out, "%-8s %-22s %10s %10s %9s %8s\n",
+		"workers", "protocol", "meanC", "goodput", "timeouts", "drops")
+	for _, w := range []int{16, 32} {
+		for _, p := range []dtdctcp.Protocol{
+			dtdctcp.DCTCPPlus(20, 1.0/16),
+			dtdctcp.DTDCTCP(16, 26, 1.0/16),
+			dtdctcp.DCTCP(20, 1.0/16),
+		} {
+			cfg := dtdctcp.DefaultTestbed(p, w)
+			cfg.Shards = s.shards
+			res, err := dtdctcp.RunIncast(cfg, s.rounds)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-8d %-22s %10v %9.2fM %9d %8d\n",
+				w, res.Protocol, res.MeanCompletion.Round(10*time.Microsecond),
+				res.MeanGoodputBps/1e6, res.Timeouts, res.Drops)
+		}
+	}
+
+	header(out, "Zoo — HULL phantom queue γ sweep (20 flows, 10 Gbps, K=40)")
+	fmt.Fprintf(out, "%-8s %10s %10s %9s %8s\n", "gamma", "util", "mean(pkt)", "marks", "drops")
+	for _, gamma := range []float64{0.80, 0.90, 0.95, 1.0} {
+		res, err := dtdctcp.RunDumbbell(dtdctcp.DumbbellConfig{
+			Protocol:   dtdctcp.HULL(40, gamma, 10*dtdctcp.Gbps, 1.0/16),
+			Flows:      20,
+			Rate:       10 * dtdctcp.Gbps,
+			RTT:        100 * time.Microsecond,
+			BufferPkts: 600,
+			Duration:   s.duration,
+			Warmup:     s.warmup,
+			Seed:       1,
+			Shards:     s.shards,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-8.2f %9.1f%% %10.1f %9d %8d\n",
+			gamma, res.Utilization*100, res.QueueMeanPkts, res.Marks, res.Drops)
+	}
+	fmt.Fprintln(out, "\nutilization tracks γ: the phantom queue trades bandwidth headroom for near-empty real buffers")
+
+	// Loss-driven Reno fills whatever buffer it is given, so the
+	// dynamic-threshold cap αB/(1+α) shows up directly in the queue max;
+	// ECN-governed flows never push the pool hard enough to see it.
+	header(out, "Zoo — shared-buffer dynamic-threshold switch (40 Reno flows, pool = 600 pkts)")
+	fmt.Fprintf(out, "%-10s %10s %10s %10s %10s %9s %8s\n", "alpha", "cap(pkt)", "util", "mean(pkt)", "max(pkt)", "marks", "drops")
+	for _, alpha := range []float64{0.5, 1, 2, 8} {
+		res, err := dtdctcp.RunDumbbell(dtdctcp.DumbbellConfig{
+			Protocol:     dtdctcp.Reno(),
+			Flows:        40,
+			Rate:         10 * dtdctcp.Gbps,
+			RTT:          100 * time.Microsecond,
+			BufferPkts:   600,
+			Duration:     s.duration,
+			Warmup:       s.warmup,
+			Seed:         1,
+			Shards:       s.shards,
+			SharedBuffer: dtdctcp.SharedBufferConfig{Alpha: alpha},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-10.1f %10.0f %9.1f%% %10.1f %10.0f %9d %8d\n",
+			alpha, alpha*600/(1+alpha), res.Utilization*100,
+			res.QueueMeanPkts, res.QueueMaxPkts, res.Marks, res.Drops)
+	}
+	fmt.Fprintln(out, "\nthe dynamic threshold caps one congested port at αB/(1+α), keeping pool headroom for the quiet ports")
 	return nil
 }
 

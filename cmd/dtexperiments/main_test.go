@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"io"
+	"strings"
 	"testing"
 )
 
@@ -63,5 +64,26 @@ func TestSweepFiguresDeduplicated(t *testing.T) {
 	// it once (this is a smoke test that it completes).
 	if err := run([]string{"-short", "-fig", "10,11,12"}, io.Discard); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunZooExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("zoo tables are slow")
+	}
+	// The zoo tables must render all three families: the DCTCP+ incast
+	// comparison, the HULL γ sweep, and the shared-buffer α sweep whose
+	// queue max tracks the dynamic-threshold cap αB/(1+α).
+	var buf bytes.Buffer
+	if err := run([]string{"-short", "-fig", "zoo"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"dctcp+", "dt-dctcp", "HULL", "gamma", "alpha", "cap(pkt)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("zoo output missing %q:\n%s", want, text)
+		}
 	}
 }

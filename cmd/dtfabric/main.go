@@ -89,30 +89,31 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dtfabric", flag.ContinueOnError)
 	var (
-		topology  = fs.String("topo", "fattree", "topology: fattree or leafspine")
-		k         = fs.Int("k", 4, "fat-tree arity (even)")
-		leaves    = fs.Int("leaves", 4, "leaf-spine: number of leaf switches")
-		spines    = fs.Int("spines", 4, "leaf-spine: number of spine switches")
-		hostsPer  = fs.Int("hosts-per-leaf", 4, "leaf-spine: hosts per leaf")
-		rateGbps  = fs.Float64("rate", 1, "link rate in Gbit/s (hosts and fabric)")
-		hop       = fs.Duration("hop", 10*time.Microsecond, "per-link propagation delay")
-		buffer    = fs.Int("buffer", 100, "per-port buffer in packets")
-		cdfName   = fs.String("cdf", flowgen.WebSearchSmall, "flow-size CDF: builtin name or trace file path")
-		load      = fs.Float64("load", 0.6, "offered load as a fraction of bisection bandwidth")
-		flows     = fs.Int("flows", 50000, "trace length in flows")
-		matrixS   = fs.String("matrix", "random", "traffic matrix: random, permutation, incast")
-		smallMax  = fs.Int64("small-max", 100_000, "largest small-bucket flow in bytes")
-		largeMin  = fs.Int64("large-min", 1_000_000, "smallest large-bucket flow in bytes")
-		seed      = fs.Int64("seed", 1, "simulation seed")
-		shards    = fs.Int("shards", 1, "event wheels for the reported runs (1 = serial)")
-		verify    = fs.String("verify-shards", "", "comma-separated shard counts that must reproduce the serial digest (e.g. 1,2,4)")
-		markK     = fs.Int("K", 20, "DCTCP marking threshold in packets")
-		markK1    = fs.Int("K1", 15, "DT-DCTCP lower threshold in packets")
-		markK2    = fs.Int("K2", 25, "DT-DCTCP upper threshold in packets")
-		g         = fs.Float64("g", 1.0/16, "DCTCP EWMA gain")
-		quick     = fs.Bool("quick", false, "small leaf-spine and short trace for a fast smoke pass")
-		out       = fs.String("o", "", "merge the snapshot into this JSON file (previous current moves to history)")
-		label     = fs.String("label", "", "snapshot label")
+		topology = fs.String("topo", "fattree", "topology: fattree or leafspine")
+		k        = fs.Int("k", 4, "fat-tree arity (even)")
+		leaves   = fs.Int("leaves", 4, "leaf-spine: number of leaf switches")
+		spines   = fs.Int("spines", 4, "leaf-spine: number of spine switches")
+		hostsPer = fs.Int("hosts-per-leaf", 4, "leaf-spine: hosts per leaf")
+		rateGbps = fs.Float64("rate", 1, "link rate in Gbit/s (hosts and fabric)")
+		hop      = fs.Duration("hop", 10*time.Microsecond, "per-link propagation delay")
+		buffer   = fs.Int("buffer", 100, "per-port buffer in packets")
+		cdfName  = fs.String("cdf", flowgen.WebSearchSmall, "flow-size CDF: builtin name or trace file path")
+		load     = fs.Float64("load", 0.6, "offered load as a fraction of bisection bandwidth")
+		flows    = fs.Int("flows", 50000, "trace length in flows")
+		matrixS  = fs.String("matrix", "random", "traffic matrix: random, permutation, incast")
+		smallMax = fs.Int64("small-max", 100_000, "largest small-bucket flow in bytes")
+		largeMin = fs.Int64("large-min", 1_000_000, "smallest large-bucket flow in bytes")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		shards   = fs.Int("shards", 1, "event wheels for the reported runs (1 = serial)")
+		verify   = fs.String("verify-shards", "", "comma-separated shard counts that must reproduce the serial digest (e.g. 1,2,4)")
+		markK    = fs.Int("K", 20, "DCTCP marking threshold in packets")
+		markK1   = fs.Int("K1", 15, "DT-DCTCP lower threshold in packets")
+		markK2   = fs.Int("K2", 25, "DT-DCTCP upper threshold in packets")
+		g        = fs.Float64("g", 1.0/16, "DCTCP EWMA gain")
+		zoo      = fs.Bool("zoo", false, "also run the DCTCP+ and HULL zoo protocols over the fabric")
+		quick    = fs.Bool("quick", false, "small leaf-spine and short trace for a fast smoke pass")
+		out      = fs.String("o", "", "merge the snapshot into this JSON file (previous current moves to history)")
+		label    = fs.String("label", "", "snapshot label")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -153,6 +154,12 @@ func run(args []string) error {
 	protocols := []dtdctcp.Protocol{
 		dtdctcp.DCTCP(*markK, *g),
 		dtdctcp.DTDCTCP(*markK1, *markK2, *g),
+	}
+	if *zoo {
+		protocols = append(protocols,
+			dtdctcp.DCTCPPlus(*markK, *g),
+			dtdctcp.HULL(*markK, 0.95, base.Rate, *g),
+		)
 	}
 
 	snap := &Snapshot{

@@ -7,6 +7,9 @@
 //	dtsim -protocol dctcp -k 40 -flows 100
 //	dtsim -protocol dt-dctcp -k1 30 -k2 50 -flows 60 -plot
 //	dtsim -protocol reno -flows 10 -csv queue.csv
+//	dtsim -protocol dctcp+ -flows 40
+//	dtsim -protocol hull -gamma 0.95 -flows 20
+//	dtsim -protocol dctcp -sb-alpha 2 -flows 40
 package main
 
 import (
@@ -30,11 +33,15 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dtsim", flag.ContinueOnError)
 	var (
-		protocol    = fs.String("protocol", "dctcp", "protocol: dctcp, dt-dctcp, reno, reno-ecn")
-		k           = fs.Int("k", 40, "single marking threshold in packets (dctcp, reno-ecn)")
+		protocol    = fs.String("protocol", "dctcp", "protocol: dctcp, dt-dctcp, dctcp+, hull, reno, reno-ecn")
+		k           = fs.Int("k", 40, "single marking threshold in packets (dctcp, dctcp+, hull, reno-ecn)")
 		k1          = fs.Int("k1", 30, "DT-DCTCP mark-on threshold in packets")
 		k2          = fs.Int("k2", 50, "DT-DCTCP mark-off threshold in packets")
 		g           = fs.Float64("g", 1.0/16, "DCTCP estimation gain")
+		gamma       = fs.Float64("gamma", 0.95, "HULL phantom-queue drain fraction of line rate (hull)")
+		sbAlpha     = fs.Float64("sb-alpha", 0, "shared-buffer dynamic-threshold α; > 0 pools the switch buffers")
+		sbPool      = fs.Int("sb-pool", 0, "shared-buffer pool size in packets (0 = bottleneck buffer)")
+		sbBneckOnly = fs.Bool("sb-bottleneck-only", false, "pool only the bottleneck port (diagnostic single-port limit)")
 		flows       = fs.Int("flows", 10, "number of long-lived flows")
 		rate        = fs.Int("rate-gbps", 10, "bottleneck rate in Gbps")
 		rtt         = fs.Duration("rtt", 100*time.Microsecond, "base round-trip time")
@@ -70,6 +77,10 @@ func run(args []string, out io.Writer) error {
 		proto = dtdctcp.DCTCP(*k, *g)
 	case "dt-dctcp":
 		proto = dtdctcp.DTDCTCP(*k1, *k2, *g)
+	case "dctcp+":
+		proto = dtdctcp.DCTCPPlus(*k, *g)
+	case "hull":
+		proto = dtdctcp.HULL(*k, *gamma, dtdctcp.Rate(*rate)*dtdctcp.Gbps, *g)
 	case "reno":
 		proto = dtdctcp.Reno()
 	case "reno-ecn":
@@ -89,6 +100,13 @@ func run(args []string, out io.Writer) error {
 		Seed:             *seed,
 		Shards:           *shards,
 		AlphaSampleEvery: time.Millisecond,
+	}
+	if *sbAlpha > 0 {
+		cfg.SharedBuffer = dtdctcp.SharedBufferConfig{
+			Alpha:          *sbAlpha,
+			PoolPkts:       *sbPool,
+			BottleneckOnly: *sbBneckOnly,
+		}
 	}
 	if *plot || *csvPath != "" {
 		cfg.QueueSampleEvery = *rtt / 4

@@ -68,6 +68,25 @@ func DCTCP(kPackets int, g float64) Protocol { return core.DCTCP(kPackets, g) }
 // fall), its testbed the inverted order (classic hysteresis).
 func DTDCTCP(k1, k2 int, g float64) Protocol { return core.DTDCTCP(k1, k2, g) }
 
+// DCTCPPlus returns the sender-side enhancement the paper contrasts with
+// its switch-side fix: DCTCP endpoints running the DCTCP+ slow-timer
+// state machine (DCTCP_NORMAL → TIME_INC → TIME_DES) with randomized
+// send pacing under persistent congestion at the window floor, over the
+// single-threshold marker at kPackets.
+func DCTCPPlus(kPackets int, g float64) Protocol { return core.DCTCPPlus(kPackets, g) }
+
+// HULL returns DCTCP endpoints over a HULL-style phantom queue: a
+// virtual queue drained at fraction gamma of the given line rate, marking
+// against the virtual occupancy so the real queue keeps headroom.
+func HULL(kPackets int, gamma float64, rate Rate, g float64) Protocol {
+	return core.HULL(kPackets, gamma, rate, g)
+}
+
+// SharedBufferConfig replaces a scenario switch's static per-port
+// buffers with one dynamic-threshold pool (Choudhury–Hahne): a port may
+// queue at most α × (free pool) bytes. Enabled when Alpha > 0.
+type SharedBufferConfig = core.SharedBufferConfig
+
 // Reno returns plain loss-driven NewReno over DropTail.
 func Reno() Protocol { return core.Reno() }
 

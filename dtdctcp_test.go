@@ -171,3 +171,51 @@ func TestFacadeFabric(t *testing.T) {
 		t.Fatalf("SweepLoadsParallel: %v %v", ppts, err)
 	}
 }
+
+// The zoo re-exports: the DCTCP+ slow-timer sender, the HULL
+// phantom-queue variant, and the shared-buffer dynamic-threshold
+// switch must all run through the facade.
+func TestFacadeZoo(t *testing.T) {
+	base := DumbbellConfig{
+		Flows:      10,
+		Rate:       10 * Gbps,
+		RTT:        100 * time.Microsecond,
+		BufferPkts: 600,
+		Duration:   20 * time.Millisecond,
+		Warmup:     5 * time.Millisecond,
+	}
+
+	plus := base
+	plus.Protocol = DCTCPPlus(40, 1.0/16)
+	res, err := RunDumbbell(plus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization < 0.8 || res.Marks == 0 {
+		t.Fatalf("dctcp+: util %v marks %d", res.Utilization, res.Marks)
+	}
+
+	hull := base
+	hull.Protocol = HULL(40, 0.95, base.Rate, 1.0/16)
+	hres, err := RunDumbbell(hull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.Marks == 0 {
+		t.Fatalf("hull: no phantom marks")
+	}
+	if hres.QueueMeanPkts >= res.QueueMeanPkts {
+		t.Fatalf("hull queue mean %.1f not below dctcp+ %.1f", hres.QueueMeanPkts, res.QueueMeanPkts)
+	}
+
+	pooled := base
+	pooled.Protocol = DCTCP(40, 1.0/16)
+	pooled.SharedBuffer = SharedBufferConfig{Alpha: 2}
+	sres, err := RunDumbbell(pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Utilization < 0.8 || sres.Marks == 0 {
+		t.Fatalf("shared buffer: util %v marks %d", sres.Utilization, sres.Marks)
+	}
+}

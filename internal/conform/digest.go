@@ -65,12 +65,20 @@ type Digest struct {
 func DigestRun(s Scenario) (Digest, error) {
 	cfg := s.simConfig()
 	cfg.AlphaSampleEvery = s.RTT
+	return digestDumbbell(s.Name, cfg)
+}
+
+// digestDumbbell runs one dumbbell configuration and fingerprints the
+// result under the given scenario name. Both the paper grid's golden
+// scenarios and the zoo goldens funnel through here, so the two suites
+// pin the same observables with the same hashes.
+func digestDumbbell(name string, cfg core.DumbbellConfig) (Digest, error) {
 	res, err := core.RunDumbbell(cfg)
 	if err != nil {
-		return Digest{}, fmt.Errorf("conform %s: digest run: %w", s.Name, err)
+		return Digest{}, fmt.Errorf("conform %s: digest run: %w", name, err)
 	}
 	d := Digest{
-		Scenario: s.Name,
+		Scenario: name,
 		Protocol: res.Protocol,
 		Flows:    res.Flows,
 		Events:   res.Events,
@@ -138,6 +146,13 @@ func GoldenScenarios() []Scenario {
 		mk("golden-dt3050-n80", core.DTDCTCP(30, 50, g), 80),
 		mk("golden-dt4060-n40", core.DTDCTCP(40, 60, g), 40),
 	}
+}
+
+// DigestZooRun fingerprints one zoo golden configuration — the DCTCP+
+// pacing path, the phantom marker, or the shared-buffer admission path —
+// through the same dumbbell digest the paper grid uses.
+func DigestZooRun(z ZooGolden) (Digest, error) {
+	return digestDumbbell(z.Name, z.Cfg)
 }
 
 // WriteGoldenFile marshals the digest to path as indented JSON with a

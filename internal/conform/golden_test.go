@@ -54,6 +54,63 @@ func TestGoldenDigests(t *testing.T) {
 	}
 }
 
+// TestZooGoldenDigests pins the zoo configurations — DCTCP+ pacing,
+// the HULL phantom marker, and the shared-buffer switch — byte-for-byte
+// against their committed digests, sharing the -update flag with the
+// paper-grid goldens.
+func TestZooGoldenDigests(t *testing.T) {
+	for _, z := range ZooGoldenScenarios() {
+		z := z
+		t.Run(z.Name, func(t *testing.T) {
+			got, err := DigestZooRun(z)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := goldenPath(z.Name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := WriteGoldenFile(path, got); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			want, err := ReadGoldenFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with: go test ./internal/conform -run Golden -update)", err)
+			}
+			if got != want {
+				t.Errorf("digest drifted from %s:\n got: %+v\nwant: %+v\nIf the simulator change is deliberate, regenerate with -update and commit the diff.",
+					path, got, want)
+			}
+		})
+	}
+}
+
+// The zoo golden runs must be repeat-stable on their own: the DCTCP+
+// pacing RNG and the shared-buffer eviction order are the two newest
+// places a hidden map-iteration or time.Now dependence could hide.
+func TestZooGoldenDigestsRepeatStable(t *testing.T) {
+	for _, z := range ZooGoldenScenarios() {
+		z := z
+		t.Run(z.Name, func(t *testing.T) {
+			a, err := DigestZooRun(z)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := DigestZooRun(z)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Errorf("digest differs between repeated runs:\n%+v\n%+v", a, b)
+			}
+		})
+	}
+}
+
 // The digest of a run must not depend on how the grid was scheduled:
 // workers=1 and workers=8 must produce identical digests, and so must a
 // repeated run — the determinism contract the golden suite rests on.
@@ -94,6 +151,9 @@ func TestGoldenFilesMatchScenarios(t *testing.T) {
 	live := map[string]bool{}
 	for _, s := range GoldenScenarios() {
 		live[s.Name+".json"] = true
+	}
+	for _, z := range ZooGoldenScenarios() {
+		live[z.Name+".json"] = true
 	}
 	for _, e := range entries {
 		if !live[e.Name()] {

@@ -72,6 +72,63 @@ type DumbbellConfig struct {
 	// sampler's ticks are engine events: a sampled run is a different —
 	// still deterministic — run than an unsampled one.
 	MetricsSampleEvery time.Duration
+	// SharedBuffer, when enabled (Alpha > 0), replaces the switch's
+	// static per-port buffers with one dynamic-threshold pool.
+	SharedBuffer SharedBufferConfig
+}
+
+// SharedBufferConfig opts a scenario's bottleneck switch into
+// shared-buffer dynamic-threshold allocation (netsim.SharedBuffer):
+// admission tail-drops against T = α·(B − ΣQ) instead of a static
+// per-port bound. The zero value leaves buffers private.
+type SharedBufferConfig struct {
+	// Alpha is the dynamic-threshold parameter; zero disables sharing.
+	Alpha float64
+	// PoolPkts is the pool capacity B in packets; zero defaults to the
+	// scenario's per-port buffer (BufferPkts), which makes the
+	// single-member pool directly comparable to the private-buffer run.
+	PoolPkts int
+	// BottleneckOnly restricts the pool to the bottleneck port instead
+	// of every port of the switch. The conformance grid's
+	// uncontended-limit scenario uses this: with one member and a large
+	// α the pool must agree verdict-for-verdict with per-port tail-drop.
+	BottleneckOnly bool
+}
+
+// enabled reports whether the scenario shares buffers.
+func (s SharedBufferConfig) enabled() bool { return s.Alpha > 0 }
+
+// build creates the pool (poolPkts defaulted to bufferPkts) and attaches
+// either just the bottleneck or every port of the switch.
+func (s SharedBufferConfig) build(sw *netsim.Switch, bneck *netsim.Port, bufferPkts, pktSize int) (*netsim.SharedBuffer, error) {
+	poolPkts := s.PoolPkts
+	if poolPkts <= 0 {
+		poolPkts = bufferPkts
+	}
+	pool, err := netsim.NewSharedBuffer(poolPkts*pktSize, s.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	if s.BottleneckOnly {
+		return pool, pool.Attach(bneck)
+	}
+	for i := 0; i < sw.Ports(); i++ {
+		if err := pool.Attach(sw.Port(i)); err != nil {
+			return nil, err
+		}
+	}
+	return pool, nil
+}
+
+// pinPool lists the domain of every pool member port, for pinning to
+// shard 0: the pool counter mutates on every member enqueue/dequeue, so
+// Partition requires all members on one shard.
+func pinPool(nw *netsim.Network, pool *netsim.SharedBuffer) []int {
+	var pins []int
+	for _, p := range pool.Ports() {
+		pins = append(pins, nw.PortDomain(p))
+	}
+	return pins
 }
 
 func (c DumbbellConfig) validate() error {
@@ -216,14 +273,24 @@ func RunDumbbell(cfg DumbbellConfig) (*DumbbellResult, error) {
 	}
 
 	bneck := sw.PortTo(rcv.ID())
+	if cfg.SharedBuffer.enabled() {
+		if _, err := cfg.SharedBuffer.build(sw, bneck, cfg.BufferPkts, pktSize); err != nil {
+			return nil, err
+		}
+	}
 	if sharded {
 		// Partition after routes (source-side egress resolution reads
 		// them) and before endpoints (they bind Host.Engine at
 		// construction). The bottleneck port's domain is pinned to
 		// shard 0: a randomized AQM law draws from the root RNG at
 		// runtime, and shard 0 is the one whose stream equals the
-		// serial engine's.
-		assign := nw.DefaultAssign(cfg.Shards, nw.PortDomain(bneck))
+		// serial engine's. Shared-buffer member ports are pinned with
+		// it — the pool counter must live on a single shard.
+		pins := []int{nw.PortDomain(bneck)}
+		if sb := bneck.Shared(); sb != nil {
+			pins = append(pins, pinPool(nw, sb)...)
+		}
+		assign := nw.DefaultAssign(cfg.Shards, pins...)
 		if testPermuteAssign != nil {
 			testPermuteAssign(assign)
 		}

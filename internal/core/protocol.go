@@ -116,6 +116,51 @@ func D2TCPProto(kPackets int, g float64) Protocol {
 	}
 }
 
+// DCTCPPlus returns DCTCP+ (SNIPPETS Snippet 1 / ns-3 TcpDctcpPlus):
+// DCTCP's single-threshold marker at kPackets with endpoints running the
+// slow-timer backoff state machine — once the window floor is reached
+// under persistent congestion, senders pace transmissions by a
+// randomized, additively-grown slow timer instead of hammering
+// synchronized bursts. A sender-side rival to DT-DCTCP on the incast
+// scenarios.
+func DCTCPPlus(kPackets int, g float64) Protocol {
+	cfg := tcp.DefaultConfig(tcp.DCTCPPlus)
+	cfg.G = g
+	pktSize := cfg.PacketSize()
+	return Protocol{
+		Name: fmt.Sprintf("dctcp+(K=%d)", kPackets),
+		TCP:  cfg,
+		NewPolicy: func(*rand.Rand) aqm.Policy {
+			return aqm.NewSingleThresholdPackets(kPackets, pktSize)
+		},
+		K: kPackets,
+	}
+}
+
+// HULL returns HULL-style phantom-queue marking (Alizadeh et al.,
+// NSDI'12): DCTCP endpoints marked by a virtual queue that drains at
+// gamma times the bottleneck line rate and trips a single threshold at
+// kPackets of virtual occupancy. With gamma < 1 utilization pins near
+// gamma while the real queue stays close to empty. The marker needs the
+// line rate, so callers pass the bottleneck rate the way RenoPIE does.
+// K is left zero: the fluid and describing-function analyses model
+// real-queue markers, and a virtual-queue threshold is not comparable —
+// analytic checks skip with that reason rather than comparing apples to
+// phantoms.
+func HULL(kPackets int, gamma float64, rate netsim.Rate, g float64) Protocol {
+	cfg := tcp.DefaultConfig(tcp.DCTCP)
+	cfg.G = g
+	pktSize := cfg.PacketSize()
+	drain := gamma * rate.BytesPerSecond()
+	return Protocol{
+		Name: fmt.Sprintf("hull(K=%d,gamma=%.2f)", kPackets, gamma),
+		TCP:  cfg,
+		NewPolicy: func(*rand.Rand) aqm.Policy {
+			return aqm.NewPhantomQueue(drain, aqm.NewSingleThresholdPackets(kPackets, pktSize))
+		},
+	}
+}
+
 // Reno returns plain loss-driven NewReno over DropTail, the conventional
 // TCP the paper's introduction argues against.
 func Reno() Protocol {

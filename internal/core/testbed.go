@@ -77,6 +77,10 @@ type TestbedConfig struct {
 	// Chaos is set) the chaos controller. Pull-based, so enabling it
 	// changes nothing else.
 	Metrics bool
+	// SharedBuffer, when enabled (Alpha > 0), replaces the core
+	// switch's static per-port buffers with one dynamic-threshold pool;
+	// PoolPkts defaults to the bottleneck buffer.
+	SharedBuffer SharedBufferConfig
 }
 
 // DefaultTestbed returns the paper's testbed parameters for a protocol.
@@ -173,12 +177,28 @@ func buildTestbed(cfg TestbedConfig) (*testbed, error) {
 		return nil, err
 	}
 	bneck := core.PortTo(agg.ID())
+	if cfg.SharedBuffer.enabled() {
+		pktSize := cfg.Protocol.PacketSize()
+		bufferPkts := cfg.BottleneckBuffer / pktSize
+		if bufferPkts < 1 {
+			bufferPkts = 1
+		}
+		if _, err := cfg.SharedBuffer.build(core, bneck, bufferPkts, pktSize); err != nil {
+			return nil, err
+		}
+	}
 	if sharded {
 		// Partition after routes and before endpoints. The bottleneck
 		// port's domain is pinned to shard 0: a randomized AQM law
 		// (PIE) draws from the root RNG at runtime, and shard 0's
-		// stream equals the serial engine's.
-		assign := nw.DefaultAssign(cfg.Shards, nw.PortDomain(bneck))
+		// stream equals the serial engine's. Shared-buffer member
+		// ports are pinned with it — the pool counter must live on a
+		// single shard.
+		pins := []int{nw.PortDomain(bneck)}
+		if sb := bneck.Shared(); sb != nil {
+			pins = append(pins, pinPool(nw, sb)...)
+		}
+		assign := nw.DefaultAssign(cfg.Shards, pins...)
 		if err := nw.Partition(se, assign); err != nil {
 			return nil, err
 		}

@@ -99,6 +99,46 @@ func TestPortSendSteadyStateAllocFree(t *testing.T) {
 	}
 }
 
+// TestSharedBufferSendSteadyStateAllocFree pins the pooled admission path:
+// swapping the static per-port bound for the dynamic-threshold pool must
+// keep enqueue/dequeue off the heap — admit() and the pool counter update
+// are arithmetic on existing state, nothing more.
+func TestSharedBufferSendSteadyStateAllocFree(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions allocate; alloc accounting is meaningless")
+	}
+	sb, err := NewSharedBuffer(64*pktSize, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newSharedStar(t, 2, 10*Gbps, Gbps, 64, sb)
+	sinks := make([]*countingSink, 2)
+	for i, d := range st.dsts {
+		sinks[i] = &countingSink{}
+		d.Register(FlowID(i+1), sinks[i])
+	}
+
+	cycle := func() {
+		for i := 0; i < 32; i++ {
+			st.offer(i % 2)
+		}
+		if err := st.engine.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		cycle()
+	}
+
+	avg := testing.AllocsPerRun(200, cycle)
+	if avg != 0 {
+		t.Fatalf("pooled Port.Send steady state allocated %.2f times per batch, want 0", avg)
+	}
+	if sinks[0].n == 0 || sinks[1].n == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
 // TestECMPForwardSteadyStateAllocFree pins the multi-path egress: a
 // packet crossing a switch with an ECMP set resolves its port via the
 // flow hash, and that lookup must stay off the heap like the

@@ -112,10 +112,13 @@ type Port struct {
 
 	queue    pktRing
 	queueLen int // bytes
-	busy     bool
-	stats    PortStats
-	monitor  QueueMonitor
-	tracer   PortTracer
+	// shared, when non-nil, replaces the static buffer bound with a
+	// switch-wide dynamic-threshold pool (see SharedBuffer).
+	shared  *SharedBuffer
+	busy    bool
+	stats   PortStats
+	monitor QueueMonitor
+	tracer  PortTracer
 
 	// ambientBytes and ambientRate model co-simulated background traffic
 	// sharing this port (see SetAmbient in ambient.go): a foreign queue
@@ -309,8 +312,27 @@ func (p *Port) Rate() Rate { return p.rate }
 // Delay returns the one-way propagation delay.
 func (p *Port) Delay() time.Duration { return p.delay }
 
-// Buffer returns the queue capacity in bytes.
+// Buffer returns the queue capacity in bytes. For a pooled port this is
+// the configured static size, which admission no longer consults — see
+// Shared.
 func (p *Port) Buffer() int { return p.buffer }
+
+// Shared returns the port's shared-buffer pool, or nil for a port with a
+// private static buffer.
+func (p *Port) Shared() *SharedBuffer { return p.shared }
+
+// addQueued moves the port's byte counter by delta, mirroring the change
+// into the shared pool's occupancy when the port is pooled. Every
+// enqueue/dequeue path funnels through here so the two counters cannot
+// drift.
+//
+//dtlint:hotpath
+func (p *Port) addQueued(delta int) {
+	p.queueLen += delta
+	if p.shared != nil {
+		p.shared.used += delta
+	}
+}
 
 // Down reports whether the link is administratively down.
 func (p *Port) Down() bool { return p.down }
@@ -342,10 +364,16 @@ func (p *Port) SetDelay(d time.Duration) {
 // SetBuffer resizes the queue capacity. Shrinking below the current
 // occupancy drops packets from the tail of the queue (the most recent
 // arrivals — what a switch reconfiguring its buffer carve-up discards)
-// until the occupancy fits; those count as overflow drops. Non-positive
-// sizes are ignored.
+// until the occupancy fits; those count as overflow drops. On a pooled
+// port the mutation resizes the whole shared pool instead, evicting from
+// the longest member queue (chaos buffer faults compose with buffer
+// sharing this way). Non-positive sizes are ignored.
 func (p *Port) SetBuffer(bytes int) {
 	if bytes <= 0 {
+		return
+	}
+	if p.shared != nil {
+		p.shared.Resize(bytes)
 		return
 	}
 	p.buffer = bytes
@@ -354,7 +382,7 @@ func (p *Port) SetBuffer(bytes int) {
 	}
 	for p.queueLen > p.buffer && p.queue.len() > 0 {
 		pkt := p.queue.popTail()
-		p.queueLen -= pkt.Size
+		p.addQueued(-pkt.Size)
 		p.policy.OnDeparture(p.engine.Now(), p.totalQueueLen())
 		p.drop(pkt, true)
 	}
@@ -418,7 +446,7 @@ func (p *Port) SetDown(down, flush bool) {
 func (p *Port) flushQueue() {
 	for p.queue.len() > 0 {
 		pkt := p.queue.pop()
-		p.queueLen -= pkt.Size
+		p.addQueued(-pkt.Size)
 		p.policy.OnDeparture(p.engine.Now(), p.totalQueueLen())
 		p.dropFault(pkt, FaultLinkDown)
 	}
@@ -476,7 +504,13 @@ func (p *Port) Send(pkt *Packet) {
 		p.drop(pkt, false)
 		return
 	}
-	if p.totalQueueLen()+pkt.Size > p.buffer {
+	overflow := p.totalQueueLen()+pkt.Size > p.buffer
+	if p.shared != nil {
+		// Pooled port: tail-drop against the dynamic allowance
+		// T = α·(B − ΣQ) instead of the static per-port bound.
+		overflow = !p.shared.admit(p.queueLen, pkt.Size)
+	}
+	if overflow {
 		// The policy saw an arrival that never materialized; inform it
 		// of the unchanged occupancy so trend estimators stay honest.
 		p.policy.OnDeparture(p.engine.Now(), p.totalQueueLen())
@@ -500,7 +534,7 @@ func (p *Port) Send(pkt *Packet) {
 	}
 	pkt.EnqueuedAt = p.engine.Now()
 	p.queue.push(pkt)
-	p.queueLen += pkt.Size
+	p.addQueued(pkt.Size)
 	p.stats.Enqueued++
 	p.checkConservation()
 	if p.tracer != nil {
@@ -522,7 +556,7 @@ func (p *Port) transmitNext() {
 		}
 		p.busy = true
 		pkt = p.queue.pop()
-		p.queueLen -= pkt.Size
+		p.addQueued(-pkt.Size)
 		p.checkConservation()
 
 		// Dequeue-time queue laws (CoDel) may drop or mark here.
@@ -589,8 +623,12 @@ func (p *Port) checkConservation() {
 	}
 	invariant.Assert(p.queueLen >= 0, "netsim: negative queue occupancy %d on port to %s",
 		p.queueLen, p.peer.Name())
-	invariant.Assert(p.queueLen <= p.buffer, "netsim: occupancy %d exceeds buffer %d on port to %s",
-		p.queueLen, p.buffer, p.peer.Name())
+	if p.shared == nil {
+		invariant.Assert(p.queueLen <= p.buffer, "netsim: occupancy %d exceeds buffer %d on port to %s",
+			p.queueLen, p.buffer, p.peer.Name())
+	} else {
+		p.shared.checkConservation()
+	}
 	sum := 0
 	for i := 0; i < p.queue.len(); i++ {
 		sum += p.queue.at(i).Size

@@ -138,6 +138,38 @@ func (n *Network) Partition(se *sim.ShardedEngine, assign []int) error {
 	if la <= 0 {
 		return fmt.Errorf("netsim: sharded execution requires positive link delays (lookahead)")
 	}
+	// Shared-buffer pools are a single mutable counter touched on every
+	// member enqueue/dequeue; the accounting is only race-free when all
+	// members execute on one shard. Validate against the assignment
+	// before mutating anything — switch-port domains follow the host
+	// domains in declaration order.
+	poolShard := make(map[*SharedBuffer]int)
+	for i, h := range n.hosts {
+		if h.uplink != nil && h.uplink.shared != nil {
+			if want, seen := poolShard[h.uplink.shared]; seen && assign[i] != want {
+				return fmt.Errorf("netsim: shared-buffer pool split across shards %d and %d; assign all member ports to one shard (pin their domains)",
+					want, assign[i])
+			} else if !seen {
+				poolShard[h.uplink.shared] = assign[i]
+			}
+		}
+	}
+	pd := len(n.hosts)
+	for _, s := range n.switches {
+		for _, p := range s.ports {
+			if p.shared != nil {
+				if want, seen := poolShard[p.shared]; seen {
+					if assign[pd] != want {
+						return fmt.Errorf("netsim: shared-buffer pool split across shards %d and %d; assign all member ports to one shard (pin their domains)",
+							want, assign[pd])
+					}
+				} else {
+					poolShard[p.shared] = assign[pd]
+				}
+			}
+			pd++
+		}
+	}
 	n.se = se
 	n.shardPools = make([]packetPool, se.NumShards())
 

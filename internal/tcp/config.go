@@ -40,6 +40,15 @@ const (
 	// d < 1 for flows with slack (harsher backoff). Without a deadline
 	// it degenerates to DCTCP (d = 1).
 	D2TCP
+	// DCTCPPlus is DCTCP with the slow-timer backoff state machine
+	// (DCTCP_NORMAL / DCTCP_TIME_INC / DCTCP_TIME_DES): once the window
+	// has collapsed to its floor and congestion persists, the sender
+	// stops pushing harder and instead paces every transmission by a
+	// randomized slow-timer delay, growing the timer additively per
+	// congested window and shrinking it multiplicatively per clear one.
+	// It attacks the incast-oscillation regime from the sender side,
+	// where DT-DCTCP attacks it from the marking side.
+	DCTCPPlus
 )
 
 // String names the variant.
@@ -55,6 +64,8 @@ func (v Variant) String() string {
 		return "cubic"
 	case D2TCP:
 		return "d2tcp"
+	case DCTCPPlus:
+		return "dctcp+"
 	default:
 		return "invalid"
 	}
@@ -91,6 +102,27 @@ type Config struct {
 	RTOInitial time.Duration
 	// RTOMax caps exponential backoff.
 	RTOMax time.Duration
+
+	// BackoffUnit is DCTCP+'s additive slow-timer increment: each
+	// congested observation window at the cwnd floor grows the pacing
+	// delay by this much.
+	BackoffUnit time.Duration
+	// SlowTimerThreshold is the DCTCP+ floor below which the divided
+	// slow timer snaps to zero and the sender returns to DCTCP_NORMAL.
+	SlowTimerThreshold time.Duration
+	// SlowTimerMax caps the DCTCP+ slow timer so pacing can never
+	// stretch a transfer past RTO-collapse territory.
+	SlowTimerMax time.Duration
+	// DivisorFactor divides the DCTCP+ slow timer on every uncongested
+	// observation window in DCTCP_TIME_DES (the reference uses 2).
+	DivisorFactor float64
+	// PacingSeed seeds the DCTCP+ sender's private pacing RNG. Workload
+	// drivers draw it from the construction engine's seeded source — one
+	// draw per sender, in construction order — so pacing randomness
+	// stays a pure function of the run seed and, because construction
+	// happens before the shards fork, byte-identical for any shard
+	// count. Zero falls back to a flow-derived constant.
+	PacingSeed int64
 }
 
 // DefaultConfig returns the parameters used throughout the paper unless an
@@ -109,6 +141,12 @@ func DefaultConfig(v Variant) Config {
 		RTOMin:            200 * time.Millisecond,
 		RTOInitial:        200 * time.Millisecond,
 		RTOMax:            60 * time.Second,
+		// DCTCP+ slow-timer defaults, scaled to the paper's ~100 µs
+		// datacenter RTT (the ns-3 reference uses a 100 µs backoff unit).
+		BackoffUnit:        100 * time.Microsecond,
+		SlowTimerThreshold: 50 * time.Microsecond,
+		SlowTimerMax:       5 * time.Millisecond,
+		DivisorFactor:      2,
 	}
 }
 
@@ -119,7 +157,7 @@ func (c Config) PacketSize() int { return c.MSS + c.HeaderBytes }
 func (c Config) ECT() bool { return c.Variant != Reno && c.Variant != Cubic }
 
 // dctcpLike reports whether the variant runs DCTCP's α estimator.
-func (v Variant) dctcpLike() bool { return v == DCTCP || v == D2TCP }
+func (v Variant) dctcpLike() bool { return v == DCTCP || v == D2TCP || v == DCTCPPlus }
 
 // sanitize fills unset fields with defaults so harness code can specify
 // only what it cares about.
@@ -157,6 +195,18 @@ func (c Config) sanitize() Config {
 	}
 	if c.RTOMax <= 0 {
 		c.RTOMax = d.RTOMax
+	}
+	if c.BackoffUnit <= 0 {
+		c.BackoffUnit = d.BackoffUnit
+	}
+	if c.SlowTimerThreshold <= 0 {
+		c.SlowTimerThreshold = d.SlowTimerThreshold
+	}
+	if c.SlowTimerMax <= 0 {
+		c.SlowTimerMax = d.SlowTimerMax
+	}
+	if c.DivisorFactor <= 1 {
+		c.DivisorFactor = d.DivisorFactor
 	}
 	return c
 }

@@ -46,14 +46,16 @@ type Sender struct {
 	recover    int64
 
 	// DCTCP state.
-	alpha        float64
-	ceWindowEnd  int64 // α is updated when sndUna passes this point
-	ackedBytes   int64 // bytes acked in the current observation window
-	markedBytes  int64 // of which carried ECE
-	ecnReduced   bool  // window already reduced in this observation window
-	cwrPending   bool  // set CWR on the next data packet (RFC3168)
-	growHoldSeq  int64 // no additive increase until sndUna passes this (CWR episode)
-	cubic        cubicState
+	alpha       float64
+	ceWindowEnd int64 // α is updated when sndUna passes this point
+	ackedBytes  int64 // bytes acked in the current observation window
+	markedBytes int64 // of which carried ECE
+	ecnReduced  bool  // window already reduced in this observation window
+	cwrPending  bool  // set CWR on the next data packet (RFC3168)
+	growHoldSeq int64 // no additive increase until sndUna passes this (CWR episode)
+	cubic       cubicState
+	// plus is the DCTCP+ slow-timer pacer (nil for other variants).
+	plus         *plusPacer
 	retxSeq      int64 // highest sequence retransmitted (Karn: skip RTT samples)
 	retxValid    bool
 	rtt          *rttEstimator
@@ -85,6 +87,12 @@ type SenderStats struct {
 	AlphaUpdates uint64
 	// ECNReductions counts window reductions triggered by marks alone.
 	ECNReductions uint64
+	// PacedSegments counts DCTCP+ transmissions released by the
+	// slow-timer pacer (zero for other variants — the anti-vacuity
+	// signal that pacing actually engaged).
+	PacedSegments uint64
+	// SlowTimerBackoffs counts DCTCP+ additive slow-timer growths.
+	SlowTimerBackoffs uint64
 }
 
 // NewSender creates a sender for flow on host, transmitting totalBytes of
@@ -106,6 +114,9 @@ func NewSender(host *netsim.Host, flow netsim.FlowID, peer netsim.NodeID, totalB
 		rtt:      newRTTEstimator(cfg),
 	}
 	s.rtoTimer = sim.NewTimer(s.engine, s.onRTO)
+	if cfg.Variant == DCTCPPlus {
+		s.plus = newPlusPacer(s, cfg)
+	}
 	host.Register(flow, s)
 	return s
 }
@@ -178,6 +189,9 @@ func (s *Sender) trySend() {
 		if s.completed {
 			return
 		}
+		if s.plus != nil && s.plus.armed {
+			return
+		}
 		inFlight := float64(s.sndNxt - s.sndUna)
 		if inFlight+float64(s.cfg.MSS) > s.cwnd+0.5 {
 			return
@@ -191,6 +205,13 @@ func (s *Sender) trySend() {
 			if remaining < payload {
 				payload = remaining
 			}
+		}
+		if s.plus != nil && s.plus.slowTime > 0 {
+			// DCTCP+ pacing: one segment per randomized slow-timer
+			// delay instead of a window-limited burst.
+			s.plus.timer.Reset(s.plus.delay())
+			s.plus.armed = true
+			return
 		}
 		s.transmit(s.sndNxt, int(payload))
 		s.sndNxt += payload
@@ -403,6 +424,9 @@ func (s *Sender) retransmitHead() int64 {
 		return 0
 	}
 	s.stats.Retransmissions++
+	if s.plus != nil {
+		s.plus.congested = true
+	}
 	s.retxSeq = s.sndUna + payload
 	s.retxValid = true
 	s.transmit(s.sndUna, int(payload))
@@ -483,6 +507,17 @@ func (s *Sender) updateAlphaWindow() {
 			s.stats.ECNReductions++
 		}
 	}
+	// DCTCP+: one slow-timer transition per observation window, after
+	// the window cut so the floor test sees the post-cut cwnd.
+	if s.plus != nil {
+		congested := s.markedBytes > 0 || s.plus.congested
+		atFloor := s.cwnd <= float64(2*s.cfg.MSS)+0.5
+		was := s.plus.slowTime
+		s.plus.tick(s.cfg, congested, atFloor)
+		if s.plus.slowTime > was {
+			s.stats.SlowTimerBackoffs++
+		}
+	}
 	s.ackedBytes = 0
 	s.markedBytes = 0
 	s.ceWindowEnd = s.sndNxt
@@ -526,6 +561,10 @@ func (s *Sender) complete() {
 	s.completed = true
 	s.completeTime = s.engine.Now()
 	s.rtoTimer.Stop()
+	if s.plus != nil {
+		s.plus.timer.Stop()
+		s.plus.armed = false
+	}
 	if s.OnComplete != nil {
 		s.OnComplete(s.completeTime)
 	}

@@ -44,7 +44,8 @@ func StartLongLived(engine *sim.Engine, cfg LongLivedConfig) *LongLived {
 	w := &LongLived{}
 	for i, h := range cfg.Hosts {
 		flow := cfg.BaseFlow + netsim.FlowID(i)
-		s := tcp.NewSender(h, flow, cfg.Receiver.ID(), 0, cfg.TCP)
+		tcpCfg := plusPacingSeed(engine, cfg.TCP)
+		s := tcp.NewSender(h, flow, cfg.Receiver.ID(), 0, tcpCfg)
 		r := tcp.NewReceiver(cfg.Receiver, flow, h.ID(), cfg.TCP)
 		w.Senders = append(w.Senders, s)
 		w.receivers = append(w.receivers, r)
@@ -56,6 +57,21 @@ func StartLongLived(engine *sim.Engine, cfg LongLivedConfig) *LongLived {
 		}
 	}
 	return w
+}
+
+// plusPacingSeed draws a DCTCP+ pacing seed from the construction
+// engine's root source — one draw per sender, in construction order.
+// Construction runs before the shards fork (serial engine, or shard 0
+// whose stream equals the serial one), so the seed — and with it every
+// runtime pacing draw, which goes through the sender's private RNG — is
+// a pure function of the run seed and byte-identical for any shard
+// count. Other variants take no draw, leaving their RNG streams (and the
+// committed golden digests) untouched.
+func plusPacingSeed(engine *sim.Engine, cfg tcp.Config) tcp.Config {
+	if cfg.Variant == tcp.DCTCPPlus && cfg.PacingSeed == 0 {
+		cfg.PacingSeed = engine.Rand().Int63() + 1
+	}
+	return cfg
 }
 
 // TotalAcked sums acknowledged bytes across all flows.

@@ -196,7 +196,7 @@ func (q *QueryRunner) startRound() {
 	}
 	for i, worker := range q.cfg.Workers {
 		flow := base + netsim.FlowID(i)
-		s := tcp.NewSender(worker, flow, q.cfg.Aggregator.ID(), q.cfg.BytesPerWorker, q.cfg.TCP)
+		s := tcp.NewSender(worker, flow, q.cfg.Aggregator.ID(), q.cfg.BytesPerWorker, plusPacingSeed(q.engine, q.cfg.TCP))
 		r := tcp.NewReceiver(q.cfg.Aggregator, flow, worker.ID(), q.cfg.TCP)
 		if q.cfg.Deadline > 0 {
 			s.Deadline = deadline
@@ -292,7 +292,7 @@ func (q *QueryRunner) startRoundRelay(t0 sim.Time) {
 	}
 	for i, worker := range q.cfg.Workers {
 		flow := q.cfg.BaseFlow + netsim.FlowID(i)
-		s := tcp.NewSender(worker, flow, q.cfg.Aggregator.ID(), q.cfg.BytesPerWorker, q.cfg.TCP)
+		s := tcp.NewSender(worker, flow, q.cfg.Aggregator.ID(), q.cfg.BytesPerWorker, plusPacingSeed(q.engine, q.cfg.TCP))
 		r := tcp.NewReceiver(q.cfg.Aggregator, flow, worker.ID(), q.cfg.TCP)
 		if q.cfg.Deadline > 0 {
 			s.Deadline = deadline
